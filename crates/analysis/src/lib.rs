@@ -1,0 +1,24 @@
+//! # analysis — free-energy estimation and result formatting
+//!
+//! * [`histogram`] — periodic 2-D histograms over the (φ, ψ) torus;
+//! * [`fes`] — unbiased and WHAM free-energy surfaces (the vFEP substitute
+//!   for the paper's Fig. 4 validation);
+//! * [`tables`] — aligned text tables and ASCII bars used by the benchmark
+//!   harness to print every regenerated figure/table;
+//! * [`timeseries`] — block averaging, autocorrelation times and round-trip
+//!   statistics for convergence diagnostics.
+
+pub mod fes;
+pub mod histogram;
+pub mod overlap;
+pub mod tables;
+pub mod timeseries;
+
+pub use fes::{render_ascii, unbiased_fes, wham_fes, BiasedWindow, FreeEnergySurface};
+pub use histogram::Histogram2D;
+pub use overlap::{histogram_overlap, ladder_overlaps};
+pub use tables::{bar, f1, f2, TextTable};
+pub use timeseries::{
+    autocorrelation, block_average, effective_samples, integrated_autocorrelation_time, mean,
+    round_trip_times, variance, RoundTripSummary,
+};

@@ -1,0 +1,18 @@
+//! # baselines — comparison points for the RepEx framework
+//!
+//! Two baselines the evaluation needs:
+//!
+//! * [`integrated`] — a *tightly-integrated* synchronous T-REMD, the way MD
+//!   engines implement it internally (exchange inside the MPI job: no pilot,
+//!   no file staging, no per-task launch overhead — and no flexibility:
+//!   cores must equal replicas, one engine, sync only). This quantifies the
+//!   "performance price" of RepEx's flexibility that the paper argues is
+//!   acceptable.
+//! * [`no_exchange`] — independent parallel MD with the exchange phase
+//!   disabled: the black "No exchange" reference line of Fig. 7.
+
+pub mod integrated;
+pub mod no_exchange;
+
+pub use integrated::{run_integrated_tremd, IntegratedConfig, IntegratedReport};
+pub use no_exchange::no_exchange_config;

@@ -1,0 +1,38 @@
+//! The "No exchange" baseline of Fig. 7: the same framework pipeline with
+//! the exchange phase disabled, isolating the cost of exchanges from the
+//! cost of running parallel MD under the runtime.
+
+use repex::config::SimulationConfig;
+
+/// Derive the no-exchange variant of a configuration.
+pub fn no_exchange_config(mut cfg: SimulationConfig) -> SimulationConfig {
+    cfg.no_exchange = true;
+    cfg.title = format!("{} (no exchange)", cfg.title);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repex::simulation::RemdSimulation;
+
+    #[test]
+    fn no_exchange_runs_and_is_faster() {
+        let mut base = SimulationConfig::t_remd(8, 600, 2);
+        base.surrogate_steps = 5;
+        let with = RemdSimulation::new(base.clone()).unwrap().run().unwrap();
+        let without = RemdSimulation::new(no_exchange_config(base)).unwrap().run().unwrap();
+        assert!(without.title.contains("no exchange"));
+        assert_eq!(without.acceptance[0].1.attempts, 0);
+        assert!(
+            without.average_tc() < with.average_tc(),
+            "dropping exchange must shorten the cycle: {} vs {}",
+            without.average_tc(),
+            with.average_tc()
+        );
+        // But the MD component matches.
+        let md_with = with.average_timing().t_md;
+        let md_without = without.average_timing().t_md;
+        assert!((md_with - md_without).abs() < 0.15 * md_with, "{md_with} vs {md_without}");
+    }
+}

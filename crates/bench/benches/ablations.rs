@@ -1,0 +1,68 @@
+//! Criterion benchmarks for substrate design choices called out in
+//! DESIGN.md: the pilot's list scheduler, the staging area, and the restart
+//! file round trip (the per-cycle serialization cost each replica pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc::timeline::CoreTimeline;
+use hpc::SimTime;
+use mdsim::io::restart::{read_restart, write_restart};
+use mdsim::State;
+use pilot::staging::StagingArea;
+use std::hint::black_box;
+
+fn bench_timeline_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline_schedule");
+    for &(cores, tasks) in &[(128usize, 1728usize), (1728, 1728), (112, 10_000)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cores}c_{tasks}t")),
+            &(cores, tasks),
+            |b, &(cores, tasks)| {
+                b.iter(|| {
+                    let mut tl = CoreTimeline::new(cores);
+                    for _ in 0..tasks {
+                        tl.schedule(1, 139.6, SimTime::ZERO);
+                    }
+                    black_box(tl.all_idle_at())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_staging_area(c: &mut Criterion) {
+    c.bench_function("staging_put_get_1728", |b| {
+        let payload = "x".repeat(2048);
+        b.iter(|| {
+            let s = StagingArea::new();
+            for i in 0..1728 {
+                s.put_text(format!("r{i:05}_c0000.mdinfo"), payload.clone());
+            }
+            let mut total = 0usize;
+            for i in 0..1728 {
+                total += s.get_text(&format!("r{i:05}_c0000.mdinfo")).unwrap().len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_restart_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restart_roundtrip");
+    for &atoms in &[7usize, 2881] {
+        let mut st = State::zeros(atoms);
+        for (i, p) in st.positions.iter_mut().enumerate() {
+            *p = mdsim::Vec3::new(i as f64 * 0.1, -(i as f64) * 0.2, 42.0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
+            b.iter(|| {
+                let text = write_restart("bench", &st);
+                black_box(read_restart(&text).unwrap().n_atoms())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeline_scheduling, bench_staging_area, bench_restart_roundtrip);
+criterion_main!(benches);

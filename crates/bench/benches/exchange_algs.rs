@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the exchange algorithms: Metropolis
+//! criteria, pairing and multi-dimensional group decomposition at
+//! paper-scale replica counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exchange::metropolis::{acceptance_probability, temperature_delta};
+use exchange::multidim::ParamGrid;
+use exchange::pairing::{select_pairs, PairingStrategy};
+use exchange::param::Dimension;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_metropolis_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metropolis_sweep");
+    for &n in &[64usize, 1728] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let temps: Vec<f64> = (0..n).map(|i| 273.0 * 1.001f64.powi(i as i32)).collect();
+        let energies: Vec<f64> = (0..n).map(|_| rng.gen_range(-200.0..0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..n - 1 {
+                    let d = temperature_delta(temps[i], energies[i], temps[i + 1], energies[i + 1]);
+                    acc += acceptance_probability(d);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    for strategy in [PairingStrategy::NeighborAlternating, PairingStrategy::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &s| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| black_box(select_pairs(s, 1728, 3, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_group_decomposition(c: &mut Criterion) {
+    let grid = ParamGrid::new(vec![
+        Dimension::temperature_geometric(273.0, 373.0, 12),
+        Dimension::salt_linear(0.0, 1.0, 12),
+        Dimension::umbrella_uniform("phi", 12, 0.02),
+    ])
+    .unwrap();
+    c.bench_function("tsu_1728_groups_all_dims", |b| {
+        b.iter(|| {
+            for d in 0..3 {
+                black_box(grid.groups_for_dimension(d).len());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_metropolis_sweep, bench_pairing, bench_group_decomposition);
+criterion_main!(benches);

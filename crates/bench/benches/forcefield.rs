@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the MD substrate: force evaluation (serial
+//! vs Rayon-parallel) and neighbor search (cell list vs O(N²)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::models::{dipeptide_forcefield, solvated_alanine_dipeptide};
+use mdsim::neighbor::{all_pairs, CellList};
+use mdsim::Vec3;
+use std::hint::black_box;
+
+fn bench_energy_forces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_forces");
+    group.sample_size(10);
+    for &atoms in &[500usize, 2881] {
+        let sys = solvated_alanine_dipeptide(atoms, 1);
+        let ff = dipeptide_forcefield();
+        let mut forces = vec![Vec3::ZERO; atoms];
+        group.bench_with_input(BenchmarkId::new("serial", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(ff.energy_forces(&sys, &mut forces)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(ff.energy_forces_par(&sys, &mut forces)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_search");
+    group.sample_size(10);
+    for &atoms in &[500usize, 2881] {
+        let sys = solvated_alanine_dipeptide(atoms, 2);
+        group.bench_with_input(BenchmarkId::new("cell_list", atoms), &atoms, |b, _| {
+            b.iter(|| {
+                let cl = CellList::build(&sys.state.positions, &sys.pbc, 9.0);
+                black_box(cl.pairs().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs_scan", atoms), &atoms, |b, &n| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (i, j) in all_pairs(n) {
+                    let d = sys
+                        .pbc
+                        .min_image(sys.state.positions[i as usize], sys.state.positions[j as usize]);
+                    if d.norm_sq() < 81.0 {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_forces, bench_neighbor_search);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks over the whole framework: wall time to execute a
+//! complete simulated REMD cycle at increasing replica counts (this measures
+//! the orchestration machinery — DES scheduling, staging, exchange math —
+//! not the virtual MD durations), plus the tightly-integrated baseline.
+
+use baselines::integrated::{run_integrated_tremd, IntegratedConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repex::config::SimulationConfig;
+use repex::simulation::RemdSimulation;
+use std::hint::black_box;
+
+fn bench_sync_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_tremd_run");
+    group.sample_size(10);
+    for &n in &[16usize, 64, 216] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = SimulationConfig::t_remd(n, 600, 1);
+                cfg.surrogate_steps = 5;
+                let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+                black_box(report.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_tremd_run");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = SimulationConfig::t_remd(n, 600, 2);
+                cfg.pattern = repex::config::Pattern::Asynchronous { tick_fraction: 0.25 };
+                cfg.surrogate_steps = 5;
+                let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+                black_box(report.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_integrated_baseline(c: &mut Criterion) {
+    c.bench_function("integrated_tremd_64", |b| {
+        b.iter(|| {
+            let cfg = IntegratedConfig { surrogate_steps: 5, ..IntegratedConfig::new(64, 600, 1) };
+            black_box(run_integrated_tremd(&cfg).average_tc())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sync_cycle, bench_async_run, bench_integrated_baseline);
+criterion_main!(benches);

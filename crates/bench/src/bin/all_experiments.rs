@@ -1,0 +1,53 @@
+//! Run every figure/table binary in sequence (the paper-regeneration
+//! harness). Each binary also writes its output under `results/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table1_comparison",
+    "fig04_validation",
+    "fig05_overheads",
+    "fig06_weak_1d",
+    "fig07_efficiency_1d",
+    "fig08_namd",
+    "fig09_weak_tsu",
+    "fig10_strong_tsu",
+    "fig11_efficiency_tsu",
+    "fig12_multicore",
+    "fig13_async_utilization",
+    "ablate_straggler",
+];
+
+const EXTRA: [&str; 5] =
+    ["ablate_batch_fraction", "ablate_pairing", "ablate_gpu", "ablate_multicluster", "ablate_ladder_opt"];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir: PathBuf = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    let all: Vec<&str> = EXPERIMENTS.iter().chain(EXTRA.iter()).copied().collect();
+    for name in &all {
+        let path = bin_dir.join(name);
+        println!("\n=== {name} ===================================================");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name}: exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name}: failed to launch ({e}); build with `cargo build --release -p bench`");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("All {} experiments completed; outputs in results/.", all.len());
+    } else {
+        println!("Failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

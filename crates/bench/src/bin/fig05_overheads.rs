@@ -1,0 +1,116 @@
+//! Figure 5 — characterization of overheads.
+//!
+//! Data times per exchange type, RepEx overhead (1-D and 3-D) and RP
+//! overhead for runs of 64..1728 replicas on SuperMIC, single-core replicas,
+//! Execution Mode I, synchronous pattern.
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{one_d_config, run, OneDKind, PER_DIM_SWEEP, REPLICA_SWEEP};
+use bench::output::{check, emit};
+use repex::config::DimensionConfig;
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 2;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 5 — Characterization of overheads (SuperMIC, Mode I, sync)");
+    let _ = writeln!(out, "Per-cycle averages over {cycles} cycles.\n");
+
+    let mut table = TextTable::new(vec![
+        "Replicas",
+        "T data(s)",
+        "U data(s)",
+        "S data(s)",
+        "RepEx ovh 1D(s)",
+        "RepEx ovh 3D(s)",
+        "RP ovh(s)",
+    ]);
+
+    let mut t_data = Vec::new();
+    let mut u_data = Vec::new();
+    let mut s_data = Vec::new();
+    let mut repex_1d = Vec::new();
+    let mut repex_3d = Vec::new();
+    let mut rp = Vec::new();
+
+    for (i, &n) in REPLICA_SWEEP.iter().enumerate() {
+        // 1-D runs per exchange type supply per-type data times; the T run
+        // also supplies the 1-D RepEx overhead and the RP overhead.
+        let t = run(one_d_config(OneDKind::Temperature, n, cycles)).average_timing();
+        let u = run(one_d_config(OneDKind::Umbrella, n, cycles)).average_timing();
+        let s = run(one_d_config(OneDKind::Salt, n, cycles)).average_timing();
+        // A TUU 3-D run at the same total replica count supplies the 3-D
+        // RepEx overhead (TUU keeps the exchange cheap so this stays fast).
+        let per_dim = PER_DIM_SWEEP[i];
+        let mut cfg3 = one_d_config(OneDKind::Temperature, per_dim, 1);
+        cfg3.title = format!("TUU {n}");
+        cfg3.dimensions = vec![
+            DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: per_dim },
+            DimensionConfig::Umbrella { dihedral: "phi".into(), count: per_dim, k_deg: 0.02 },
+            DimensionConfig::Umbrella { dihedral: "psi".into(), count: per_dim, k_deg: 0.02 },
+        ];
+        let three = run(cfg3).average_timing();
+
+        t_data.push(t.t_data);
+        u_data.push(u.t_data);
+        s_data.push(s.t_data);
+        repex_1d.push(t.t_repex_over);
+        repex_3d.push(three.t_repex_over);
+        // The 1-D T run launches N tasks once per cycle.
+        rp.push(t.t_rp_over);
+
+        table.add_row(vec![
+            format!("{n}"),
+            f1(t.t_data),
+            f1(u.t_data),
+            f1(s.t_data),
+            f1(t.t_repex_over),
+            f1(three.t_repex_over),
+            f1(t.t_rp_over),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let _ = writeln!(out);
+    let last = REPLICA_SWEEP.len() - 1;
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("data times ordered T < U < S at every count (S max {:.1}s; paper: 6.3s)", s_data[last]),
+            (0..=last).all(|i| t_data[i] < u_data[i] && u_data[i] < s_data[i])
+                && (s_data[last] - 6.3).abs() < 1.0
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            "3-D RepEx overhead exceeds 1-D at every replica count",
+            (0..=last).all(|i| repex_3d[i] > repex_1d[i])
+        )
+    );
+    let ratio = rp[last] / rp[0];
+    let n_ratio = REPLICA_SWEEP[last] as f64 / REPLICA_SWEEP[0] as f64;
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "RP overhead proportional to replicas ({:.1}s -> {:.1}s, x{:.1} for x{:.0} replicas)",
+                rp[0], rp[last], ratio, n_ratio
+            ),
+            ratio > 0.5 * n_ratio && rp[last] > 35.0 && rp[last] < 60.0
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("all overheads stay below ~75s (max RP {:.1}s)", rp[last]),
+            rp.iter().chain(&s_data).chain(&repex_3d).all(|v| *v < 75.0)
+        )
+    );
+
+    emit("fig05_overheads", &out);
+}

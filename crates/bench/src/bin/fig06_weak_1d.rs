@@ -1,0 +1,91 @@
+//! Figure 6 — one-dimensional REMD weak scaling.
+//!
+//! Decomposition of average simulation cycle times into MD time and exchange
+//! time for U-REMD, S-REMD and T-REMD on SuperMIC, Execution Mode I,
+//! single-core replicas, 6000 steps between exchanges, replicas = cores ∈
+//! {64, 216, 512, 1000, 1728}.
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{one_d_config, run, OneDKind, REPLICA_SWEEP};
+use bench::output::{check, emit};
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 4; // the paper averages 4 cycles
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6 — 1-D REMD weak scaling (SuperMIC, sander, 6000 steps/cycle)");
+    let _ = writeln!(out, "Average of {cycles} cycles; cores = replicas (Execution Mode I).\n");
+
+    let mut table = TextTable::new(vec![
+        "Cores,Replicas",
+        "U MD(s)",
+        "U EX(s)",
+        "S MD(s)",
+        "S EX(s)",
+        "T MD(s)",
+        "T EX(s)",
+    ]);
+    // Keyed [kind][n] -> (md, ex).
+    let mut md = [[0.0; REPLICA_SWEEP.len()]; 3];
+    let mut ex = [[0.0; REPLICA_SWEEP.len()]; 3];
+    let kinds = [OneDKind::Umbrella, OneDKind::Salt, OneDKind::Temperature];
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (ni, &n) in REPLICA_SWEEP.iter().enumerate() {
+            let report = run(one_d_config(*kind, n, cycles));
+            let avg = report.average_timing();
+            md[ki][ni] = avg.t_md;
+            ex[ki][ni] = avg.t_ex_total();
+        }
+    }
+    for (ni, &n) in REPLICA_SWEEP.iter().enumerate() {
+        table.add_row(vec![
+            format!("{n}, {n}"),
+            f1(md[0][ni]),
+            f1(ex[0][ni]),
+            f1(md[1][ni]),
+            f1(ex[1][ni]),
+            f1(md[2][ni]),
+            f1(ex[2][ni]),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // Shape checks against the paper's observations.
+    let _ = writeln!(out);
+    let md_all: Vec<f64> = md.iter().flatten().cloned().collect();
+    let md_mean = md_all.iter().sum::<f64>() / md_all.len() as f64;
+    let md_flat = md_all.iter().all(|m| (m - md_mean).abs() < 0.08 * md_mean);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("MD time nearly identical across types/counts (mean {:.1}s; paper: 139.6s)", md_mean),
+            md_flat && (md_mean - 139.6).abs() < 0.12 * 139.6
+        )
+    );
+    let t_linear = ex[2][4] / ex[2][0];
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("T/U exchange grow nearly linearly (T: {:.1}s -> {:.1}s)", ex[2][0], ex[2][4]),
+            t_linear > 10.0 && ex[0][4] > 10.0 * ex[0][0] / 2.0
+        )
+    );
+    let s_dominates = (0..REPLICA_SWEEP.len()).all(|i| ex[1][i] > 2.0 * ex[2][i]);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "S exchange substantially longer than T/U (S {:.1}s vs T {:.1}s at 1728)",
+                ex[1][4], ex[2][4]
+            ),
+            s_dominates
+        )
+    );
+    let tu_similar = (0..REPLICA_SWEEP.len()).all(|i| (ex[0][i] - ex[2][i]).abs() < 0.5 * ex[2][i].max(1.0));
+    let _ = writeln!(out, "{}", check("T and U exchange timings similar", tu_similar));
+
+    emit("fig06_weak_1d", &out);
+}

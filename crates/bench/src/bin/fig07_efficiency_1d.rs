@@ -1,0 +1,92 @@
+//! Figure 7 — parallel efficiency (% of linear scaling) for 1-D REMD.
+//!
+//! Weak-scaling efficiency (Eq. 2) with the 64-core run as the 100%
+//! reference, for T-, S- and U-REMD plus the no-exchange baseline, on
+//! SuperMIC with the Amber engine. The paper's plot extends to 2744
+//! replicas for this figure.
+
+use analysis::tables::{f1, TextTable};
+use baselines::no_exchange_config;
+use bench::experiments::{one_d_config, run, OneDKind};
+use bench::output::{check, emit};
+use repex::timing::weak_efficiency;
+use std::fmt::Write as _;
+
+const SWEEP: [usize; 6] = [64, 216, 512, 1000, 1728, 2744];
+
+fn main() {
+    let cycles = 3;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 7 — Parallel efficiency (% of linear scaling), 1-D REMD, SuperMIC");
+    let _ = writeln!(out, "Weak scaling, Eq. 2: Ew = T(64)/T(N) x 100; base = 64 replicas on 64 cores.\n");
+
+    let kinds: [(&str, Option<OneDKind>); 4] = [
+        ("T-REMD", Some(OneDKind::Temperature)),
+        ("S-REMD", Some(OneDKind::Salt)),
+        ("U-REMD", Some(OneDKind::Umbrella)),
+        ("No exchange", None),
+    ];
+    let mut table = TextTable::new(vec!["Cores", "T-REMD", "S-REMD", "U-REMD", "No exchange"]);
+    let mut eff = vec![vec![0.0; SWEEP.len()]; kinds.len()];
+    for (ki, (_, kind)) in kinds.iter().enumerate() {
+        let mut base_tc = 0.0;
+        for (ni, &n) in SWEEP.iter().enumerate() {
+            let cfg = match kind {
+                Some(k) => one_d_config(*k, n, cycles),
+                None => no_exchange_config(one_d_config(OneDKind::Temperature, n, cycles)),
+            };
+            let tc = run(cfg).average_tc();
+            if ni == 0 {
+                base_tc = tc;
+            }
+            eff[ki][ni] = weak_efficiency(base_tc, tc);
+        }
+    }
+    for (ni, &n) in SWEEP.iter().enumerate() {
+        table.add_row(vec![
+            format!("{n}"),
+            f1(eff[0][ni]),
+            f1(eff[1][ni]),
+            f1(eff[2][ni]),
+            f1(eff[3][ni]),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let _ = writeln!(out);
+    let last = SWEEP.len() - 1;
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("efficiency decreases with core count for all exchange types (T: {:.1}% at 2744)", eff[0][last]),
+            (0..3).all(|k| eff[k][last] < eff[k][0])
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("S-REMD efficiency lowest (S {:.1}% vs T {:.1}%)", eff[1][last], eff[0][last]),
+            eff[1][last] < eff[0][last] && eff[1][last] < eff[2][last]
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("no-exchange baseline stays highest ({:.1}%)", eff[3][last]),
+            (0..3).all(|k| eff[3][last] >= eff[k][last] - 1.0)
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("T and U efficiencies similar ({:.1}% vs {:.1}%)", eff[0][last], eff[2][last]),
+            (eff[0][last] - eff[2][last]).abs() < 8.0
+        )
+    );
+
+    emit("fig07_efficiency_1d", &out);
+}

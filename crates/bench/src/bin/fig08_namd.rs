@@ -1,0 +1,65 @@
+//! Figure 8 — T-REMD with the NAMD engine.
+//!
+//! Demonstrates engine independence: the identical framework configuration
+//! with `engine = namd` (NAMD-2.10 analogue, 4000 steps between exchanges)
+//! on SuperMIC, weak scaling, single-core replicas.
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{namd_config, run, REPLICA_SWEEP};
+use bench::output::{check, emit};
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 4;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 8 — T-REMD with the NAMD engine (SuperMIC, 4000 steps/cycle)");
+    let _ = writeln!(out, "Average of {cycles} cycles; cores = replicas.\n");
+
+    let mut table = TextTable::new(vec!["Cores,Replicas", "MD (s)", "Exchange (s)"]);
+    let mut md = Vec::new();
+    let mut ex = Vec::new();
+    for &n in &REPLICA_SWEEP {
+        let avg = run(namd_config(n, cycles)).average_timing();
+        md.push(avg.t_md);
+        ex.push(avg.t_ex_total());
+        table.add_row(vec![format!("{n}, {n}"), f1(avg.t_md), f1(avg.t_ex_total())]);
+    }
+    out.push_str(&table.render());
+
+    let _ = writeln!(out);
+    let md_mean = md.iter().sum::<f64>() / md.len() as f64;
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("MD times nearly equal for all pairs (mean {:.1}s; paper ≈215s)", md_mean),
+            md.iter().all(|m| (m - md_mean).abs() < 0.08 * md_mean)
+                && (md_mean - 215.0).abs() < 0.15 * 215.0
+        )
+    );
+    // "Growth rate for exchange times can't be characterized as monomial":
+    // successive ratios should NOT follow a clean power law.
+    let ratios: Vec<f64> = ex.windows(2).map(|w| w[1] / w[0]).collect();
+    let n_ratios: Vec<f64> = REPLICA_SWEEP.windows(2).map(|w| w[1] as f64 / w[0] as f64).collect();
+    let exponents: Vec<f64> = ratios.iter().zip(&n_ratios).map(|(r, n)| r.ln() / n.ln()).collect();
+    let exp_spread = exponents.iter().cloned().fold(f64::MIN, f64::max)
+        - exponents.iter().cloned().fold(f64::MAX, f64::min);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("exchange growth non-monomial (local exponents spread {:.2})", exp_spread),
+            exp_spread > 0.1
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("exchange remains a small fraction of MD (max {:.1}s vs {:.1}s)", ex.last().unwrap(), md_mean),
+            ex.iter().all(|e| *e < 0.25 * md_mean)
+        )
+    );
+
+    emit("fig08_namd", &out);
+}

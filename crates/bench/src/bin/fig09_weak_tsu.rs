@@ -1,0 +1,72 @@
+//! Figure 9 — multi-dimensional (TSU) REMD weak scaling on Stampede.
+//!
+//! Replicas per dimension 4..12 (totals 64..1728), cores = replicas
+//! (Execution Mode I), single-core replicas, Amber engine, 6000 steps per
+//! cycle per dimension. Cycle time decomposes into MD and per-dimension
+//! exchange (T, S, U).
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{run, tsu_config, PER_DIM_SWEEP, REPLICA_SWEEP};
+use bench::output::{check, emit};
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 2;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — TSU-REMD weak scaling (Stampede, Amber, Mode I)");
+    let _ = writeln!(out, "Average of {cycles} cycles; one MD phase per dimension per cycle.\n");
+
+    let mut table =
+        TextTable::new(vec!["Cores,Replicas", "MD (s)", "T exch D1 (s)", "S exch D2 (s)", "U exch D3 (s)"]);
+    let mut md = Vec::new();
+    let mut t_ex = Vec::new();
+    let mut s_ex = Vec::new();
+    let mut u_ex = Vec::new();
+    for (&per_dim, &total) in PER_DIM_SWEEP.iter().zip(&REPLICA_SWEEP) {
+        let avg = run(tsu_config(per_dim, cycles, None)).average_timing();
+        assert_eq!(avg.t_ex.len(), 3);
+        md.push(avg.t_md);
+        t_ex.push(avg.t_ex[0].1);
+        s_ex.push(avg.t_ex[1].1);
+        u_ex.push(avg.t_ex[2].1);
+        table.add_row(vec![
+            format!("{total}, {total}"),
+            f1(avg.t_md),
+            f1(avg.t_ex[0].1),
+            f1(avg.t_ex[1].1),
+            f1(avg.t_ex[2].1),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let _ = writeln!(out);
+    let md_mean = md.iter().sum::<f64>() / md.len() as f64;
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("MD times nearly identical (mean {:.1}s; paper ≈495s across 3 dimensions)", md_mean),
+            md.iter().all(|m| (m - md_mean).abs() < 0.08 * md_mean)
+                && (md_mean - 495.0).abs() < 0.12 * 495.0
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("near-linear exchange growth in all dims (T {:.1}→{:.1}s)", t_ex[0], t_ex[4]),
+            t_ex[4] > 8.0 * t_ex[0] && u_ex[4] > 8.0 * u_ex[0] && s_ex[4] > 4.0 * s_ex[0]
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("T and U exchange similar, S much larger (S {:.1}s vs T {:.1}s at 1728)", s_ex[4], t_ex[4]),
+            (0..5).all(|i| s_ex[i] > 2.0 * t_ex[i].max(u_ex[i]))
+                && (t_ex[4] - u_ex[4]).abs() < 0.5 * t_ex[4]
+        )
+    );
+
+    emit("fig09_weak_tsu", &out);
+}

@@ -1,0 +1,89 @@
+//! Figure 10 — multi-dimensional (TSU) REMD strong scaling on Stampede.
+//!
+//! Replicas fixed at 1728 (12 per dimension); pilot cores grow 112 → 1728.
+//! All but the last point run in Execution Mode II (batched waves of
+//! replicas). "Allocating more CPUs reduces the Tc."
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{run, tsu_config, STRONG_CORES};
+use bench::output::{check, emit};
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 2;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10 — TSU-REMD strong scaling (Stampede, 1728 replicas)");
+    let _ = writeln!(out, "Average of {cycles} cycles; Execution Mode II except the last point.\n");
+
+    let mut table = TextTable::new(vec![
+        "Cores,Replicas",
+        "Mode",
+        "MD (s)",
+        "T exch D1 (s)",
+        "S exch D2 (s)",
+        "U exch D3 (s)",
+    ]);
+    let mut md = Vec::new();
+    let mut t_ex = Vec::new();
+    let mut s_ex = Vec::new();
+    let mut u_ex = Vec::new();
+    for &cores in &STRONG_CORES {
+        let report = run(tsu_config(12, cycles, Some(cores)));
+        let avg = report.average_timing();
+        md.push(avg.t_md);
+        t_ex.push(avg.t_ex[0].1);
+        s_ex.push(avg.t_ex[1].1);
+        u_ex.push(avg.t_ex[2].1);
+        table.add_row(vec![
+            format!("{cores}, 1728"),
+            format!("{}", report.execution_mode),
+            f1(avg.t_md),
+            f1(avg.t_ex[0].1),
+            f1(avg.t_ex[1].1),
+            f1(avg.t_ex[2].1),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let _ = writeln!(out);
+    let halving = md.windows(2).map(|w| w[0] / w[1]).collect::<Vec<_>>();
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "MD time falls nearly proportionally with cores (ratios {:?})",
+                halving.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+            ),
+            halving.iter().all(|r| *r > 1.5 && *r < 2.6)
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "T/U exchange nearly constant across core counts (T {:.1}..{:.1}s)",
+                t_ex.iter().cloned().fold(f64::MAX, f64::min),
+                t_ex.iter().cloned().fold(f64::MIN, f64::max)
+            ),
+            {
+                let t_spread = t_ex.iter().cloned().fold(f64::MIN, f64::max)
+                    - t_ex.iter().cloned().fold(f64::MAX, f64::min);
+                let u_spread = u_ex.iter().cloned().fold(f64::MIN, f64::max)
+                    - u_ex.iter().cloned().fold(f64::MAX, f64::min);
+                t_spread < 0.35 * t_ex[0] && u_spread < 0.35 * u_ex[0]
+            }
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("S exchange ≈1800s at 112 cores, falling with cores ({:.0}s → {:.0}s)", s_ex[0], s_ex[4]),
+            (s_ex[0] - 1800.0).abs() < 0.25 * 1800.0 && s_ex[4] < 0.4 * s_ex[0]
+        )
+    );
+
+    emit("fig10_strong_tsu", &out);
+}

@@ -1,0 +1,78 @@
+//! Figure 11 — parallel efficiency for TSU-REMD on Stampede:
+//! (a) weak scaling (Eq. 2), (b) strong scaling (Eq. 3).
+
+use analysis::tables::{f1, TextTable};
+use bench::experiments::{run, tsu_config, PER_DIM_SWEEP, REPLICA_SWEEP, STRONG_CORES};
+use bench::output::{check, emit};
+use repex::timing::{strong_efficiency, weak_efficiency};
+use std::fmt::Write as _;
+
+fn main() {
+    let cycles = 2;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 11 — Parallel efficiency, TSU-REMD on Stampede");
+
+    // (a) weak scaling.
+    let _ = writeln!(out, "\n(a) Weak scaling (Eq. 2; base = 64 replicas on 64 cores)\n");
+    let mut table_a = TextTable::new(vec!["Cores", "Efficiency (%)"]);
+    let mut weak = Vec::new();
+    let mut base_tc = 0.0;
+    for (i, &per_dim) in PER_DIM_SWEEP.iter().enumerate() {
+        let tc = run(tsu_config(per_dim, cycles, None)).average_tc();
+        if i == 0 {
+            base_tc = tc;
+        }
+        let e = weak_efficiency(base_tc, tc);
+        weak.push(e);
+        table_a.add_row(vec![format!("{}", REPLICA_SWEEP[i]), f1(e)]);
+    }
+    out.push_str(&table_a.render());
+
+    // (b) strong scaling.
+    let _ = writeln!(out, "\n(b) Strong scaling (Eq. 3; 1728 replicas, base = 112 cores)\n");
+    let mut table_b = TextTable::new(vec!["Cores", "Efficiency (%)"]);
+    let mut strong = Vec::new();
+    let mut tc112 = 0.0;
+    for (i, &cores) in STRONG_CORES.iter().enumerate() {
+        let tc = run(tsu_config(12, cycles, Some(cores))).average_tc();
+        if i == 0 {
+            tc112 = tc;
+        }
+        let e = strong_efficiency(tc112, STRONG_CORES[0], tc, cores);
+        strong.push(e);
+        table_b.add_row(vec![format!("{cores}"), f1(e)]);
+    }
+    out.push_str(&table_b.render());
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("weak efficiency decreases with cores ({:.1}% → {:.1}%)", weak[0], weak[4]),
+            weak.windows(2).all(|w| w[1] <= w[0] + 1.0)
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("weak efficiency stays above 50% (min {:.1}%)", weak.iter().cloned().fold(f64::MAX, f64::min)),
+            weak.iter().all(|e| *e > 50.0)
+        )
+    );
+    let min_strong = strong.iter().cloned().fold(f64::MAX, f64::min);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "strong efficiency dips then recovers at cores = replicas ({:.1}% at 1728 vs min {:.1}%)",
+                strong[4], min_strong
+            ),
+            strong[4] > min_strong && min_strong < strong[0]
+        )
+    );
+
+    emit("fig11_efficiency_tsu", &out);
+}

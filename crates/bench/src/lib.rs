@@ -1,0 +1,11 @@
+//! # bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index); shared sweep helpers live here. Criterion
+//! microbenchmarks for the substrates are under `benches/`.
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::*;
+pub use output::*;

@@ -1,0 +1,54 @@
+//! Result emission: every figure binary prints to stdout and writes the same
+//! text into `results/<name>.txt` so EXPERIMENTS.md can reference stable
+//! artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the binaries write into (repo-relative).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Print `content` and persist it under `results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[written: {}]", path.display());
+        }
+    }
+}
+
+/// A PASS/FAIL line for the shape checks each binary performs against the
+/// paper's qualitative claims.
+pub fn check(label: &str, ok: bool) -> String {
+    format!("[{}] {label}", if ok { "PASS" } else { "FAIL" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_repo_root_results() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.parent().unwrap().join("Cargo.toml").exists(), "repo root");
+    }
+
+    #[test]
+    fn check_formatting() {
+        assert_eq!(check("x", true), "[PASS] x");
+        assert_eq!(check("y", false), "[FAIL] y");
+    }
+}

@@ -1,0 +1,214 @@
+//! `repex` — the command-line front end.
+//!
+//! The original RepEx is driven from the command line with a simulation
+//! input file and a resource configuration; this binary is the equivalent:
+//!
+//! ```text
+//! repex run <config.json> [--json <out.json>]   run a simulation
+//! repex validate <config.json>                  check a configuration
+//! repex example-config [tremd|tsu|ph]           print a starter config
+//! repex capabilities                            print the Table 1 comparison
+//! ```
+
+use analysis::tables::{f1, TextTable};
+use repex::config::{DimensionConfig, SimulationConfig};
+use repex::simulation::RemdSimulation;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("example-config") => cmd_example(&args[1..]),
+        Some("capabilities") => {
+            println!("{}", repex::capabilities::render_table1_markdown());
+            Ok(())
+        }
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repex — flexible replica-exchange molecular dynamics\n\n\
+         USAGE:\n  repex run <config.json> [--json <out.json>]\n  \
+         repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
+         repex capabilities\n\nSee README.md for the configuration schema."
+    );
+}
+
+fn load_config(path: &str) -> Result<SimulationConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SimulationConfig::from_json(&text)
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("validate needs a config file path")?;
+    let cfg = load_config(path)?;
+    cfg.validate()?;
+    println!(
+        "OK: {} — {} replicas ({}), {} cycles, Execution Mode {}, {} cores on {}",
+        cfg.title,
+        cfg.n_replicas()?,
+        cfg.build_grid()?.type_string(),
+        cfg.n_cycles,
+        cfg.execution_mode()?,
+        cfg.pilot_cores()?,
+        cfg.cluster()?.name,
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run needs a config file path")?;
+    let json_out = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().ok_or("--json needs a file path"))
+        .transpose()?;
+    let cfg = load_config(path)?;
+    let title = cfg.title.clone();
+    eprintln!("running {title} ...");
+    let report = RemdSimulation::new(cfg)?.run()?;
+
+    println!("{}", report.summary());
+    if !report.cycles.is_empty() {
+        let mut table =
+            TextTable::new(vec!["Cycle", "MD (s)", "EX (s)", "Data (s)", "RepEx (s)", "RP (s)", "Tc (s)"]);
+        for c in &report.cycles {
+            let t = &c.timing;
+            table.add_row(vec![
+                format!("{}", c.cycle),
+                f1(t.t_md),
+                f1(t.t_ex_total()),
+                f1(t.t_data),
+                f1(t.t_repex_over),
+                f1(t.t_rp_over),
+                f1(t.total()),
+            ]);
+        }
+        println!("\n{}", table.render());
+    }
+    for (letter, acc) in &report.acceptance {
+        println!(
+            "{letter}-exchange acceptance: {}/{} ({:.0}%)",
+            acc.accepted,
+            acc.attempts,
+            acc.ratio() * 100.0
+        );
+    }
+
+    if let Some(out) = json_out {
+        let doc = serde_json::json!({
+            "title": report.title,
+            "pattern": report.pattern,
+            "execution_mode": report.execution_mode,
+            "n_replicas": report.n_replicas,
+            "pilot_cores": report.pilot_cores,
+            "makespan_s": report.makespan,
+            "utilization_percent": report.utilization_percent,
+            "failed_tasks": report.failed_tasks,
+            "relaunched_tasks": report.relaunched_tasks,
+            "round_trips": report.round_trips,
+            "cycles": report.cycles,
+            "acceptance": report.acceptance.iter().map(|(l, a)| {
+                serde_json::json!({"dimension": l.to_string(), "attempts": a.attempts,
+                                   "accepted": a.accepted, "ratio": a.ratio()})
+            }).collect::<Vec<_>>(),
+        });
+        std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[report written: {out}]");
+    }
+    Ok(())
+}
+
+fn cmd_example(args: &[String]) -> Result<(), String> {
+    let kind = args.first().map(String::as_str).unwrap_or("tremd");
+    let cfg = match kind {
+        "tremd" => SimulationConfig::t_remd(24, 6000, 4),
+        "tsu" => {
+            let mut cfg = SimulationConfig::t_remd(4, 6000, 4);
+            cfg.title = "TSU-REMD example".into();
+            cfg.dimensions = vec![
+                DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 4 },
+                DimensionConfig::Salt { min_molar: 0.0, max_molar: 1.0, count: 4 },
+                DimensionConfig::Umbrella { dihedral: "phi".into(), count: 4, k_deg: 0.02 },
+            ];
+            cfg.resource.cluster = "stampede".into();
+            cfg
+        }
+        "ph" => {
+            let mut cfg = SimulationConfig::t_remd(8, 6000, 4);
+            cfg.title = "pH-REMD example".into();
+            cfg.dimensions = vec![DimensionConfig::Ph { min_ph: 3.0, max_ph: 10.0, count: 8 }];
+            cfg
+        }
+        other => return Err(format!("unknown example {other:?} (tremd|tsu|ph)")),
+    };
+    println!("{}", cfg.to_json());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_configs_are_valid() {
+        for kind in ["tremd", "tsu", "ph"] {
+            let args = vec![kind.to_string()];
+            cmd_example(&args).unwrap();
+        }
+        assert!(cmd_example(&["bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn validate_round_trips_example() {
+        let cfg = SimulationConfig::t_remd(8, 600, 2);
+        let dir = std::env::temp_dir().join("repex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        std::fs::write(&path, cfg.to_json()).unwrap();
+        cmd_validate(&[path.to_string_lossy().into_owned()]).unwrap();
+    }
+
+    #[test]
+    fn run_writes_json_report() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 1);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("run.json");
+        let out_path = dir.join("report.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+        cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--json".into(),
+            out_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let report: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(report["n_replicas"], 4);
+        assert!(report["makespan_s"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(cmd_validate(&["/no/such/file.json".to_string()]).is_err());
+        assert!(cmd_run(&[]).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! Simulation and resource configuration.
+//!
+//! The paper's usability requirement: REMD runs "must be fully specified by
+//! configuration files … with a minimal set of parameters". RepEx-rs
+//! simulations are described by a JSON document ([`SimulationConfig`])
+//! covering the physics (dimensions, steps, engine) and a resource section
+//! (cluster, cores, backend) — the two halves the framework deliberately
+//! decouples.
+
+use exchange::multidim::ParamGrid;
+use exchange::pairing::PairingStrategy;
+use exchange::param::Dimension;
+use serde::{Deserialize, Serialize};
+
+/// Which MD engine family (and executable) runs the simulation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum EngineChoice {
+    /// Amber family: `sander` for 1 core/replica, `pmemd.MPI` otherwise
+    /// (`pmemd.cuda` when `resource.use-gpu` is set).
+    Amber,
+    /// NAMD (`namd2`).
+    Namd,
+    /// GROMACS (`gmx mdrun`) — the Section 5 engine extension.
+    Gromacs,
+}
+
+/// Synchronization pattern (Section 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", rename_all_fields = "kebab-case")]
+pub enum Pattern {
+    /// Global barrier between simulation and exchange phases.
+    Synchronous,
+    /// No barrier; replicas transition to exchange on a fixed real-time
+    /// tick. `tick_fraction` is the tick interval as a fraction of the
+    /// nominal MD segment time.
+    Asynchronous { tick_fraction: f64 },
+}
+
+/// What to do when a replica's MD task fails (Section 1: RepEx "can either
+/// continue a simulation in case of replica failure or can relaunch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", rename_all_fields = "kebab-case")]
+pub enum FaultPolicy {
+    /// The failed replica sits out this cycle's exchange and resumes from
+    /// its previous restart next cycle.
+    Continue,
+    /// Relaunch the failed task, up to `max_retries` times per task.
+    Relaunch { max_retries: u32 },
+}
+
+/// The physical model replicas simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", rename_all_fields = "kebab-case")]
+pub enum Workload {
+    /// Reduced 7-atom alanine dipeptide in vacuum (cheap enough for real
+    /// sampling at paper-scale replica counts).
+    DipeptideVacuum,
+    /// Solvated dipeptide with the given total atom count.
+    DipeptideSolvated { atoms: usize },
+}
+
+impl Workload {
+    /// Atom count charged to the performance model. For the vacuum model
+    /// this is overridden by `cost_atoms` so virtual timings reflect the
+    /// paper's solvated systems.
+    pub fn real_atoms(&self) -> usize {
+        match self {
+            Workload::DipeptideVacuum => mdsim::models::BACKBONE_ATOMS,
+            Workload::DipeptideSolvated { atoms } => *atoms,
+        }
+    }
+}
+
+/// One dimension in the config file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", rename_all_fields = "kebab-case", tag = "type")]
+pub enum DimensionConfig {
+    Temperature { min_k: f64, max_k: f64, count: usize },
+    /// Explicit (possibly non-geometric) temperature rungs — what the
+    /// adaptive ladder optimizer produces.
+    TemperatureList { temps_k: Vec<f64> },
+    Umbrella { dihedral: String, count: usize, k_deg: f64 },
+    Salt { min_molar: f64, max_molar: f64, count: usize },
+    /// pH-exchange dimension (the paper's Section 5 extension).
+    Ph { min_ph: f64, max_ph: f64, count: usize },
+}
+
+impl DimensionConfig {
+    pub fn build(&self) -> Dimension {
+        match self {
+            DimensionConfig::Temperature { min_k, max_k, count } => {
+                Dimension::temperature_geometric(*min_k, *max_k, *count)
+            }
+            DimensionConfig::TemperatureList { temps_k } => Dimension::temperature_list(temps_k),
+            DimensionConfig::Umbrella { dihedral, count, k_deg } => {
+                Dimension::umbrella_uniform(dihedral, *count, *k_deg)
+            }
+            DimensionConfig::Salt { min_molar, max_molar, count } => {
+                Dimension::salt_linear(*min_molar, *max_molar, *count)
+            }
+            DimensionConfig::Ph { min_ph, max_ph, count } => {
+                Dimension::ph_linear(*min_ph, *max_ph, *count)
+            }
+        }
+    }
+}
+
+/// Where and how the workload executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct ResourceConfig {
+    /// Cluster preset name: `supermic`, `stampede`, or `small:<cores>`.
+    pub cluster: String,
+    /// Pilot cores. `None` = enough for all replicas concurrently
+    /// (Execution Mode I); fewer cores select Execution Mode II.
+    pub cores: Option<usize>,
+    /// Cores per replica (multi-core replicas, Section 4.5).
+    pub cores_per_replica: usize,
+    /// `"simulated"` (virtual cluster) or `"local"` (real threads).
+    pub backend: String,
+    /// Run MD on GPUs (one GPU per replica; Amber family switches to
+    /// `pmemd.cuda`). The paper's Section 5: GPU support "is already
+    /// available on Stampede".
+    #[serde(default)]
+    pub use_gpu: bool,
+}
+
+impl Default for ResourceConfig {
+    fn default() -> Self {
+        ResourceConfig {
+            cluster: "supermic".into(),
+            cores: None,
+            cores_per_replica: 1,
+            backend: "simulated".into(),
+            use_gpu: false,
+        }
+    }
+}
+
+/// The complete simulation description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct SimulationConfig {
+    pub title: String,
+    pub engine: EngineChoice,
+    pub pattern: Pattern,
+    pub dimensions: Vec<DimensionConfig>,
+    /// MD steps between exchange attempts.
+    pub steps_per_cycle: u64,
+    /// Number of cycles (exchange attempts per dimension sweep).
+    pub n_cycles: u64,
+    #[serde(default = "default_dt")]
+    pub dt_ps: f64,
+    #[serde(default = "default_gamma")]
+    pub gamma_ps: f64,
+    /// Thermostat temperature when no T dimension is present.
+    #[serde(default = "default_temperature")]
+    pub base_temperature: f64,
+    #[serde(default)]
+    pub workload: Option<Workload>,
+    /// Atom count charged to the virtual-cluster performance model
+    /// (defaults to the workload's real atom count).
+    #[serde(default)]
+    pub cost_atoms: Option<usize>,
+    /// Real MD steps integrated per segment under the simulated backend
+    /// (virtual time is still charged for `steps_per_cycle`).
+    #[serde(default = "default_surrogate")]
+    pub surrogate_steps: u64,
+    /// Record (phi, psi) samples every this many integrated steps
+    /// (0 = off).
+    #[serde(default)]
+    pub sample_stride: u64,
+    /// Skip sampling during the first steps of each segment
+    /// (re-equilibration after exchanges).
+    #[serde(default)]
+    pub sample_warmup: u64,
+    /// Discard samples from cycles before this one (equilibration; the
+    /// paper analyzes "the last 1 ns of production data").
+    #[serde(default)]
+    pub production_after_cycle: u64,
+    #[serde(default = "default_fault_policy")]
+    pub fault_policy: FaultPolicy,
+    #[serde(default = "default_pairing")]
+    pub pairing: PairingStrategy,
+    #[serde(default)]
+    pub seed: u64,
+    #[serde(default)]
+    pub resource: ResourceConfig,
+    /// Skip the exchange phase entirely (the "No exchange" baseline of
+    /// Fig. 7).
+    #[serde(default)]
+    pub no_exchange: bool,
+    /// Energy-minimize each replica's starting structure before assigning
+    /// velocities (standard equilibration-protocol hygiene).
+    #[serde(default)]
+    pub minimize_first: bool,
+}
+
+fn default_dt() -> f64 {
+    0.002
+}
+fn default_gamma() -> f64 {
+    5.0
+}
+fn default_temperature() -> f64 {
+    300.0
+}
+fn default_surrogate() -> u64 {
+    200
+}
+fn default_fault_policy() -> FaultPolicy {
+    FaultPolicy::Continue
+}
+fn default_pairing() -> PairingStrategy {
+    PairingStrategy::NeighborAlternating
+}
+
+impl SimulationConfig {
+    /// A minimal 1-D T-REMD config, the starting point most callers tweak.
+    pub fn t_remd(n_replicas: usize, steps: u64, cycles: u64) -> Self {
+        SimulationConfig {
+            title: format!("T-REMD {n_replicas} replicas"),
+            engine: EngineChoice::Amber,
+            pattern: Pattern::Synchronous,
+            dimensions: vec![DimensionConfig::Temperature {
+                min_k: 273.0,
+                max_k: 373.0,
+                count: n_replicas,
+            }],
+            steps_per_cycle: steps,
+            n_cycles: cycles,
+            dt_ps: default_dt(),
+            gamma_ps: default_gamma(),
+            base_temperature: default_temperature(),
+            workload: Some(Workload::DipeptideVacuum),
+            cost_atoms: Some(2881),
+            surrogate_steps: default_surrogate(),
+            sample_stride: 0,
+            sample_warmup: 0,
+            production_after_cycle: 0,
+            fault_policy: default_fault_policy(),
+            pairing: default_pairing(),
+            seed: 1,
+            resource: ResourceConfig {
+                cluster: "supermic".into(),
+                cores: None,
+                cores_per_replica: 1,
+                backend: "simulated".into(),
+                use_gpu: false,
+            },
+            no_exchange: false,
+            minimize_first: false,
+        }
+    }
+
+    /// Build the parameter grid from the dimension configs.
+    pub fn build_grid(&self) -> Result<ParamGrid, String> {
+        ParamGrid::new(self.dimensions.iter().map(|d| d.build()).collect())
+    }
+
+    /// Number of replicas (= grid slots).
+    pub fn n_replicas(&self) -> Result<usize, String> {
+        Ok(self.build_grid()?.n_slots())
+    }
+
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("config parse error: {e}"))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Resolve the cluster preset.
+    pub fn cluster(&self) -> Result<hpc::ClusterSpec, String> {
+        let name = self.resource.cluster.as_str();
+        if name == "supermic" {
+            Ok(hpc::ClusterSpec::supermic())
+        } else if name == "stampede" {
+            Ok(hpc::ClusterSpec::stampede())
+        } else if let Some(cores) = name.strip_prefix("small:") {
+            let cores: usize =
+                cores.parse().map_err(|_| format!("bad small cluster size {cores:?}"))?;
+            Ok(hpc::ClusterSpec::small_cluster(cores))
+        } else {
+            Err(format!("unknown cluster {name:?} (supermic|stampede|small:<cores>)"))
+        }
+    }
+
+    /// Sanity-check the whole document.
+    pub fn validate(&self) -> Result<(), String> {
+        let grid = self.build_grid()?;
+        if self.steps_per_cycle == 0 {
+            return Err("steps-per-cycle must be positive".into());
+        }
+        if self.n_cycles == 0 {
+            return Err("n-cycles must be positive".into());
+        }
+        if self.dt_ps <= 0.0 {
+            return Err("dt-ps must be positive".into());
+        }
+        if self.resource.cores_per_replica == 0 {
+            return Err("cores-per-replica must be positive".into());
+        }
+        let cluster = self.cluster()?;
+        let n = grid.n_slots();
+        if let Some(cores) = self.resource.cores {
+            if cores == 0 {
+                return Err("cores must be positive".into());
+            }
+            if cores < self.resource.cores_per_replica {
+                return Err(format!(
+                    "pilot cores {cores} < cores-per-replica {}",
+                    self.resource.cores_per_replica
+                ));
+            }
+            if cores > cluster.total_cores() {
+                return Err(format!(
+                    "pilot cores {cores} exceed cluster capacity {}",
+                    cluster.total_cores()
+                ));
+            }
+        } else {
+            let needed = n * self.resource.cores_per_replica;
+            if needed > cluster.total_cores() {
+                return Err(format!(
+                    "Execution Mode I needs {needed} cores but {} has {}; set resource.cores \
+                     for Execution Mode II",
+                    cluster.name,
+                    cluster.total_cores()
+                ));
+            }
+        }
+        if matches!(self.pattern, Pattern::Asynchronous { .. }) && grid.n_dims() > 1 {
+            return Err("the asynchronous pattern currently supports 1-D REMD only".into());
+        }
+        if let Pattern::Asynchronous { tick_fraction } = self.pattern {
+            if tick_fraction <= 0.0 {
+                return Err("async tick-fraction must be positive".into());
+            }
+        }
+        match self.resource.backend.as_str() {
+            "simulated" | "local" => {}
+            other => return Err(format!("unknown backend {other:?} (simulated|local)")),
+        }
+        if self.resource.use_gpu && self.resource.cores_per_replica > 1 {
+            return Err("use-gpu assigns one GPU per replica; cores-per-replica must be 1".into());
+        }
+        if self.resource.use_gpu && self.engine != EngineChoice::Amber {
+            return Err("GPU support is currently available for the Amber family only".into());
+        }
+        Ok(())
+    }
+
+    /// Pilot core count: explicit, or Mode I default (all replicas
+    /// concurrent).
+    pub fn pilot_cores(&self) -> Result<usize, String> {
+        let n = self.n_replicas()?;
+        Ok(self.resource.cores.unwrap_or(n * self.resource.cores_per_replica))
+    }
+
+    /// Execution Mode as the paper defines it: Mode I when allocated cores
+    /// cover the whole simulation, Mode II otherwise.
+    pub fn execution_mode(&self) -> Result<u8, String> {
+        let needed = self.n_replicas()? * self.resource.cores_per_replica;
+        Ok(if self.pilot_cores()? >= needed { 1 } else { 2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_remd_default_is_valid() {
+        let c = SimulationConfig::t_remd(64, 6000, 4);
+        c.validate().unwrap();
+        assert_eq!(c.n_replicas().unwrap(), 64);
+        assert_eq!(c.execution_mode().unwrap(), 1);
+        assert_eq!(c.pilot_cores().unwrap(), 64);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = SimulationConfig::t_remd(16, 1000, 2);
+        let text = c.to_json();
+        let back = SimulationConfig::from_json(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn parse_handwritten_config() {
+        let text = r#"{
+            "title": "TSU on stampede",
+            "engine": "amber",
+            "pattern": "synchronous",
+            "dimensions": [
+                {"type": "temperature", "min-k": 273.0, "max-k": 373.0, "count": 4},
+                {"type": "salt", "min-molar": 0.0, "max-molar": 1.0, "count": 4},
+                {"type": "umbrella", "dihedral": "phi", "count": 4, "k-deg": 0.02}
+            ],
+            "steps-per-cycle": 6000,
+            "n-cycles": 4,
+            "resource": {
+                "cluster": "stampede",
+                "cores": 112,
+                "cores-per-replica": 1,
+                "backend": "simulated"
+            }
+        }"#;
+        let c = SimulationConfig::from_json(text).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.n_replicas().unwrap(), 64);
+        // 112 cores cover all 64 single-core replicas: Execution Mode I.
+        assert_eq!(c.execution_mode().unwrap(), 1);
+    }
+
+    #[test]
+    fn execution_mode_ii_detected() {
+        let mut c = SimulationConfig::t_remd(128, 1000, 2);
+        c.resource.cores = Some(32);
+        c.validate().unwrap();
+        assert_eq!(c.execution_mode().unwrap(), 2);
+    }
+
+    #[test]
+    fn mode_i_too_big_for_cluster_is_rejected() {
+        let mut c = SimulationConfig::t_remd(10_000, 1000, 2);
+        c.resource.cluster = "small:128".into();
+        assert!(c.validate().is_err());
+        // But Mode II on the same cluster is the paper's flagship scenario:
+        // 10 000 replicas on 128 cores.
+        c.resource.cores = Some(128);
+        c.validate().unwrap();
+        assert_eq!(c.execution_mode().unwrap(), 2);
+    }
+
+    #[test]
+    fn async_multidim_rejected() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.pattern = Pattern::Asynchronous { tick_fraction: 0.25 };
+        c.dimensions.push(DimensionConfig::Salt { min_molar: 0.0, max_molar: 1.0, count: 2 });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.steps_per_cycle = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.resource.backend = "cloud".into();
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.resource.cluster = "frontier".into();
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.resource.cores = Some(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_presets_resolve() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        assert_eq!(c.cluster().unwrap().name, "supermic");
+        c.resource.cluster = "small:64".into();
+        assert_eq!(c.cluster().unwrap().total_cores(), 64);
+    }
+
+    #[test]
+    fn multicore_replicas_mode_i_cores() {
+        let mut c = SimulationConfig::t_remd(16, 1000, 2);
+        c.resource.cores_per_replica = 4;
+        assert_eq!(c.pilot_cores().unwrap(), 64);
+        assert_eq!(c.execution_mode().unwrap(), 1);
+    }
+}

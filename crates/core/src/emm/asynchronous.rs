@@ -1,0 +1,317 @@
+//! The asynchronous RE pattern: no global barrier (Fig. 1b).
+//!
+//! Replicas run MD independently; on a fixed real-time tick (the criterion
+//! the paper uses in Section 4.6) every replica that has finished its
+//! current segment joins an exchange among the ready subset, then
+//! immediately resumes MD. Replicas still in the MD phase are untouched —
+//! "while some replicas run MD other replicas might be running exchange".
+//!
+//! Supported for 1-D REMD on the simulated backend (matching the paper's
+//! asynchronous experiments, which are 1-D T-REMD).
+
+use super::DriverCtx;
+use crate::config::{FaultPolicy, Pattern};
+use crate::task::TaskResult;
+use std::collections::HashMap;
+
+/// Outcome of an asynchronous run (per-cycle decomposition does not apply:
+/// there are no global cycles).
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome {
+    /// Wall time from start to the last replica finishing its segments.
+    pub makespan: f64,
+    /// Number of exchange rounds performed.
+    pub exchange_rounds: u64,
+}
+
+/// Run the asynchronous pattern until every replica has completed
+/// `n_cycles` MD segments.
+pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
+    let Pattern::Asynchronous { tick_fraction } = ctx.cfg.pattern else {
+        return Err("run_async called with a synchronous configuration".into());
+    };
+    if !ctx.simulated {
+        return Err("the asynchronous pattern requires the simulated backend".into());
+    }
+    if ctx.grid.n_dims() != 1 {
+        return Err("the asynchronous pattern supports 1-D REMD only".into());
+    }
+    let n_segments = ctx.cfg.n_cycles;
+    let tick = tick_fraction * ctx.md_model_seconds();
+    assert!(tick > 0.0);
+
+    // Submit the first segment for every replica.
+    let mut in_flight: HashMap<String, (usize, u32)> = HashMap::new();
+    for slot in 0..ctx.n_replicas() {
+        submit_md(ctx, slot, 0, &mut in_flight)?;
+    }
+    let mut ready: Vec<usize> = Vec::new(); // replica ids awaiting exchange
+    let mut next_tick = tick;
+    let mut exchange_rounds = 0u64;
+
+    while let Some(done) = ctx.pilot.executor.next_completion() {
+        match done.outcome {
+            Ok(TaskResult::Md(ref md)) => {
+                ctx.md_core_seconds += done.duration() * done.cores as f64;
+                ctx.record_samples_at(md.slot, md.cycle, &md.trace);
+                let r = &mut ctx.replicas[md.replica];
+                r.stale = false;
+                r.segments_done += 1;
+                in_flight.remove(&done.name);
+                if r.segments_done < n_segments {
+                    ready.push(md.replica);
+                } // finished replicas retire
+            }
+            Ok(TaskResult::Exchange(report)) => {
+                // Swaps apply as soon as the exchange unit completes; the
+                // participants already resumed MD under their pre-swap
+                // parameters (relaxed consistency, see `flush_ready`).
+                ctx.acceptance[0].merge(&report.stats);
+                ctx.apply_swaps(0, &report.swaps);
+            }
+            Err(_) => {
+                ctx.failed_tasks += 1;
+                if let Some(&(slot, retries)) = in_flight.get(&done.name) {
+                    in_flight.remove(&done.name);
+                    match ctx.cfg.fault_policy {
+                        FaultPolicy::Relaunch { max_retries } if retries < max_retries => {
+                            ctx.relaunched_tasks += 1;
+                            resubmit_md(ctx, slot, retries + 1, &mut in_flight)?;
+                        }
+                        _ => {
+                            // Continue: replica resumes MD next round without
+                            // exchanging (asynchronous recovery: nobody waits).
+                            let replica = ctx.slot_owner[slot];
+                            if ctx.replicas[replica].segments_done < n_segments {
+                                ready.push(replica);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tick criterion: when the (virtual) clock crosses a tick boundary,
+        // the ready subset exchanges and resumes.
+        let now = ctx.pilot.executor.now().as_secs();
+        if now >= next_tick && !ready.is_empty() {
+            while next_tick <= now {
+                next_tick += tick;
+            }
+            exchange_rounds += 1;
+            flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight)?;
+        }
+    }
+    // Leftover ready replicas (clock never crossed another tick): run their
+    // remaining segments without an exchange.
+    while !ready.is_empty() {
+        exchange_rounds += 1;
+        flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight)?;
+        while let Some(done) = ctx.pilot.executor.next_completion() {
+            if let Ok(TaskResult::Md(md)) = &done.outcome {
+                ctx.md_core_seconds += done.duration() * done.cores as f64;
+                ctx.record_samples_at(md.slot, md.cycle, &md.trace);
+                let r = &mut ctx.replicas[md.replica];
+                r.segments_done += 1;
+                in_flight.remove(&done.name);
+                if r.segments_done < n_segments {
+                    ready.push(md.replica);
+                }
+            } else if let Ok(TaskResult::Exchange(report)) = &done.outcome {
+                ctx.acceptance[0].merge(&report.stats);
+                ctx.apply_swaps(0, &report.swaps);
+            }
+        }
+    }
+
+    Ok(AsyncOutcome { makespan: ctx.pilot.executor.now().as_secs(), exchange_rounds })
+}
+
+/// Exchange the ready subset (adjacent-slot pairs within consecutive runs)
+/// and resume MD for all of them.
+fn flush_ready(
+    ctx: &mut DriverCtx,
+    ready: &mut Vec<usize>,
+    round: u64,
+    in_flight: &mut HashMap<String, (usize, u32)>,
+) -> Result<(), String> {
+    if ready.len() >= 2 && !ctx.cfg.no_exchange {
+        let (desc, work) = ctx.partial_exchange_unit(0, round, ready);
+        ctx.pilot.executor.submit(desc, work)?;
+    }
+    // Resume MD for all ready replicas at the current slot assignment. The
+    // exchange unit's swaps apply when its completion pops in the main
+    // loop, so a replica picks up its new parameters on the segment after
+    // next — the relaxed consistency inherent to asynchronous exchange.
+    for replica in ready.drain(..) {
+        let slot = ctx.replicas[replica].slot;
+        submit_md(ctx, slot, 0, in_flight)?;
+    }
+    Ok(())
+}
+
+fn submit_md(
+    ctx: &mut DriverCtx,
+    slot: usize,
+    retries: u32,
+    in_flight: &mut HashMap<String, (usize, u32)>,
+) -> Result<(), String> {
+    let replica = ctx.slot_owner[slot];
+    let cycle = ctx.replicas[replica].segments_done;
+    let mut spec = ctx.md_spec(slot, cycle, 0);
+    spec.seed = spec.seed.wrapping_add((retries as u64) << 32);
+    let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
+    in_flight.insert(desc.name.clone(), (slot, retries));
+    ctx.pilot.executor.submit(desc, work)?;
+    Ok(())
+}
+
+fn resubmit_md(
+    ctx: &mut DriverCtx,
+    slot: usize,
+    retries: u32,
+    in_flight: &mut HashMap<String, (usize, u32)>,
+) -> Result<(), String> {
+    submit_md(ctx, slot, retries, in_flight)
+}
+
+impl DriverCtx {
+    /// Exchange unit over a subset of replicas (the asynchronous ready set):
+    /// groups are maximal runs of consecutive occupied slots.
+    pub fn partial_exchange_unit(
+        &self,
+        dim: usize,
+        round: u64,
+        ready: &[usize],
+    ) -> (pilot::description::UnitDescription, pilot::executor::TaskWork<TaskResult>) {
+        use crate::ram::{ExchangeInput, GroupInput};
+        let kind = self.dim_kind(dim);
+        let mut slots: Vec<usize> = ready.iter().map(|&r| self.replicas[r].slot).collect();
+        slots.sort_unstable();
+        // Split into consecutive runs so pairing stays nearest-neighbour.
+        let mut groups: Vec<GroupInput> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for &s in &slots {
+            if let Some(&last) = current.last() {
+                if s != last + 1 {
+                    groups.push(self.group_from_slots(&current, dim));
+                    current.clear();
+                }
+            }
+            current.push(s);
+        }
+        if !current.is_empty() {
+            groups.push(self.group_from_slots(&current, dim));
+        }
+        let input = ExchangeInput {
+            dim,
+            cycle: round,
+            strategy: self.cfg.pairing,
+            seed: self.cfg.seed ^ 0xA5A5_0000 ^ round,
+            groups,
+            staging: self.pilot.staging.clone(),
+        };
+        let duration = pilot::description::DurationSpec::Modeled {
+            seconds: self.perf.exchange.exchange_seconds(kind, ready.len()),
+            sigma: self.perf.noise.exchange_sigma,
+        };
+        let desc = pilot::description::UnitDescription::new(
+            format!("exchange-async-r{round:05}"),
+            "repex-exchange",
+            1,
+        )
+        .with_duration(duration);
+        let engine = self.amm.exchange_engine();
+        let work: pilot::executor::TaskWork<TaskResult> =
+            Box::new(move || crate::ram::run_exchange(input, engine).map(TaskResult::Exchange));
+        (desc, work)
+    }
+
+    fn group_from_slots(&self, slots: &[usize], dim: usize) -> crate::ram::GroupInput {
+        use crate::ram::SlotInput;
+        use crate::replica::SlotParams;
+        crate::ram::GroupInput {
+            slots: slots
+                .iter()
+                .map(|&slot| {
+                    let replica_id = self.slot_owner[slot];
+                    let replica = &self.replicas[replica_id];
+                    let params = SlotParams::resolve(&self.grid, slot, self.cfg.base_temperature);
+                    let coords = self.grid.coords_of(slot);
+                    let param = self.grid.dims[dim].ladder[coords[dim]].clone();
+                    SlotInput {
+                        slot,
+                        replica: replica_id,
+                        file_base: format!(
+                            "r{:05}_c{:04}",
+                            replica_id,
+                            replica.segments_done.saturating_sub(1)
+                        ),
+                        param,
+                        temperature: params.temperature,
+                        salt_molar: params.salt_molar,
+                        ph: params.ph,
+                        restraints: params.restraints,
+                        system: std::sync::Arc::clone(&replica.system),
+                        stale: replica.stale,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Pattern, SimulationConfig};
+    use crate::simulation::build_ctx;
+
+    fn async_cfg(n: usize, segments: u64) -> SimulationConfig {
+        let mut cfg = SimulationConfig::t_remd(n, 600, segments);
+        cfg.pattern = Pattern::Asynchronous { tick_fraction: 0.25 };
+        cfg.surrogate_steps = 10;
+        cfg
+    }
+
+    #[test]
+    fn all_replicas_complete_their_segments() {
+        let mut ctx = build_ctx(async_cfg(8, 3)).unwrap();
+        let out = run_async(&mut ctx).unwrap();
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 3, "replica {} incomplete", r.id);
+        }
+        assert!(out.makespan > 0.0);
+        assert!(out.exchange_rounds > 0, "ticks must trigger exchange rounds");
+    }
+
+    #[test]
+    fn exchanges_happen_without_global_barrier() {
+        let mut ctx = build_ctx(async_cfg(12, 4)).unwrap();
+        run_async(&mut ctx).unwrap();
+        assert!(ctx.acceptance[0].attempts > 0, "async rounds attempted exchanges");
+        // Slot assignment remains a permutation.
+        let mut sorted = ctx.slot_owner.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn async_makespan_close_to_sync_md_total() {
+        // With small noise the async makespan should be within ~40% of
+        // segments × segment time (plus exchange/tick waits).
+        let mut ctx = build_ctx(async_cfg(8, 3)).unwrap();
+        let seg = ctx.md_model_seconds();
+        let out = run_async(&mut ctx).unwrap();
+        assert!(out.makespan >= 3.0 * seg, "{} vs {}", out.makespan, 3.0 * seg);
+        assert!(out.makespan < 3.0 * seg * 1.8, "{} vs {}", out.makespan, 3.0 * seg);
+    }
+
+    #[test]
+    fn sync_config_is_rejected() {
+        let mut cfg = async_cfg(4, 1);
+        cfg.pattern = Pattern::Synchronous;
+        let mut ctx = build_ctx(cfg).unwrap();
+        assert!(run_async(&mut ctx).is_err());
+    }
+}

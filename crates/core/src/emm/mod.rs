@@ -1,0 +1,507 @@
+//! Execution Management Modules (EMM).
+//!
+//! The EMM owns the pilot, translates the simulation into compute units,
+//! and implements the two RE Patterns (synchronous / asynchronous) on top of
+//! the two Execution Modes (Mode I: cores ≥ workload, Mode II: cores <
+//! workload — handled transparently by the pilot's core timeline, exactly as
+//! the paper's design intends: users switch modes by changing only the core
+//! count).
+
+pub mod asynchronous;
+pub mod federation;
+pub mod sync;
+
+use crate::amm::{Amm, MdSpec};
+use crate::config::{EngineChoice, SimulationConfig};
+use crate::ram::{ExchangeInput, GroupInput, SlotInput};
+use crate::replica::{Replica, SlotParams};
+use crate::task::TaskResult;
+use exchange::multidim::ParamGrid;
+use exchange::stats::{AcceptanceStats, RoundTripTracker};
+use hpc::perfmodel::{EngineKind, ExchangeKind, PerfModel};
+use hpc::ClusterSpec;
+use pilot::description::{DurationSpec, UnitDescription};
+use pilot::executor::TaskWork;
+use pilot::Pilot;
+use std::collections::HashMap;
+
+/// Samples collected for one umbrella/temperature window (for free-energy
+/// analysis).
+#[derive(Debug, Clone)]
+pub struct WindowSamples {
+    pub slot: usize,
+    pub temperature: f64,
+    /// (dihedral name, center_deg, k_deg) for each umbrella restraint.
+    pub restraints: Vec<(String, f64, f64)>,
+    /// (phi, psi) in radians.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// Shared state the pattern drivers operate on.
+pub struct DriverCtx {
+    pub cfg: SimulationConfig,
+    pub grid: ParamGrid,
+    pub amm: std::sync::Arc<dyn Amm>,
+    pub replicas: Vec<Replica>,
+    /// slot index -> replica id currently holding that slot.
+    pub slot_owner: Vec<usize>,
+    pub pilot: Pilot<TaskResult>,
+    pub cluster: ClusterSpec,
+    pub perf: PerfModel,
+    /// Whether durations/overheads are modeled (simulated backend).
+    pub simulated: bool,
+    /// Acceptance statistics per dimension.
+    pub acceptance: Vec<AcceptanceStats>,
+    /// Ladder-walk tracker (1-D simulations only).
+    pub round_trips: Option<RoundTripTracker>,
+    /// Per-slot (phi, psi) samples, when sampling is enabled.
+    pub window_samples: HashMap<usize, Vec<(f64, f64)>>,
+    /// Per-replica rung trajectory, one entry per cycle (1-D simulations;
+    /// feeds round-trip-time analysis). `rung_history[replica][cycle]`.
+    pub rung_history: Vec<Vec<usize>>,
+    /// Per-neighbour-pair acceptance (1-D simulations; `pair_acceptance[i]`
+    /// covers slots (i, i+1)). Feeds the adaptive ladder optimizer.
+    pub pair_acceptance: Vec<exchange::stats::AcceptanceStats>,
+    /// Total failed task observations.
+    pub failed_tasks: u64,
+    /// Total relaunches performed.
+    pub relaunched_tasks: u64,
+    /// MD busy core-seconds (for utilization, Eq. 4).
+    pub md_core_seconds: f64,
+}
+
+impl DriverCtx {
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Atom count charged to the performance model.
+    pub fn cost_atoms(&self) -> usize {
+        self.cfg
+            .cost_atoms
+            .unwrap_or_else(|| self.cfg.workload.as_ref().map(|w| w.real_atoms()).unwrap_or(2881))
+    }
+
+    /// The engine-kind used by the cost model for MD tasks.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.cfg.engine {
+            EngineChoice::Namd => EngineKind::Namd2,
+            EngineChoice::Gromacs => EngineKind::GmxMdrun,
+            EngineChoice::Amber => {
+                if self.cfg.resource.use_gpu {
+                    EngineKind::PmemdCuda
+                } else if self.cfg.resource.cores_per_replica > 1 {
+                    EngineKind::PmemdMpi
+                } else {
+                    EngineKind::Sander
+                }
+            }
+        }
+    }
+
+    /// Modeled wall seconds of one MD segment.
+    pub fn md_model_seconds(&self) -> f64 {
+        self.perf.md.md_seconds(
+            self.engine_kind(),
+            self.cost_atoms(),
+            self.cfg.steps_per_cycle,
+            self.cfg.resource.cores_per_replica,
+            self.cluster.core_speed,
+        )
+    }
+
+    /// Exchange kind of a dimension.
+    pub fn dim_kind(&self, dim: usize) -> ExchangeKind {
+        match self.grid.dims[dim].kind_letter() {
+            'T' => ExchangeKind::Temperature,
+            'U' => ExchangeKind::Umbrella,
+            'S' => ExchangeKind::Salt,
+            'P' => ExchangeKind::Ph,
+            other => unreachable!("unknown dimension letter {other}"),
+        }
+    }
+
+    /// Per-replica-and-cycle deterministic seed.
+    pub fn task_seed(&self, replica: usize, cycle: u64, dim_pass: usize) -> u64 {
+        self.cfg
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(replica as u64)
+            .wrapping_add(cycle.wrapping_mul(0x0100_0000_01b3))
+            .wrapping_add((dim_pass as u64) << 48)
+    }
+
+    /// Build the MD spec for the replica currently in `slot`.
+    pub fn md_spec(&self, slot: usize, cycle: u64, dim_pass: usize) -> MdSpec {
+        let replica_id = self.slot_owner[slot];
+        let replica = &self.replicas[replica_id];
+        let params = SlotParams::resolve(&self.grid, slot, self.cfg.base_temperature);
+        let duration = if self.simulated {
+            DurationSpec::Modeled {
+                seconds: self.md_model_seconds(),
+                sigma: self.perf.noise.md_sigma,
+            }
+        } else {
+            DurationSpec::Measured
+        };
+        let run_steps = if self.simulated {
+            self.cfg.steps_per_cycle.min(self.cfg.surrogate_steps.max(1))
+        } else {
+            self.cfg.steps_per_cycle
+        };
+        MdSpec {
+            replica: replica_id,
+            slot,
+            cycle,
+            params,
+            system: std::sync::Arc::clone(&replica.system),
+            steps: self.cfg.steps_per_cycle,
+            run_steps,
+            dt_ps: self.cfg.dt_ps,
+            gamma_ps: self.cfg.gamma_ps,
+            seed: self.task_seed(replica_id, cycle, dim_pass),
+            sample_stride: self.cfg.sample_stride,
+            sample_warmup: self.cfg.sample_warmup,
+            cores: self.cfg.resource.cores_per_replica,
+            gpu: self.cfg.resource.use_gpu,
+            duration,
+        }
+    }
+
+    /// Build the exchange task for dimension `dim` at `cycle`.
+    ///
+    /// The exchange runs as a single unit whose modeled duration follows the
+    /// calibrated aggregate cost (one MPI task for T/U; serialized
+    /// per-replica single-point tasks for S — see DESIGN.md). The pairing,
+    /// Metropolis tests and single-point energies inside the payload are
+    /// real.
+    pub fn exchange_unit(
+        &self,
+        dim: usize,
+        cycle: u64,
+    ) -> (UnitDescription, TaskWork<TaskResult>) {
+        let kind = self.dim_kind(dim);
+        let groups = self
+            .grid
+            .groups_for_dimension(dim)
+            .into_iter()
+            .map(|slots| GroupInput {
+                slots: slots
+                    .into_iter()
+                    .map(|slot| {
+                        let replica_id = self.slot_owner[slot];
+                        let replica = &self.replicas[replica_id];
+                        let params =
+                            SlotParams::resolve(&self.grid, slot, self.cfg.base_temperature);
+                        let coords = self.grid.coords_of(slot);
+                        let param = self.grid.dims[dim].ladder[coords[dim]].clone();
+                        SlotInput {
+                            slot,
+                            replica: replica_id,
+                            file_base: format!("r{:05}_c{:04}", replica_id, cycle),
+                            param,
+                            temperature: params.temperature,
+                            salt_molar: params.salt_molar,
+                            ph: params.ph,
+                            restraints: params.restraints,
+                            system: std::sync::Arc::clone(&replica.system),
+                            stale: replica.stale,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let input = ExchangeInput {
+            dim,
+            cycle,
+            strategy: self.cfg.pairing,
+            seed: self.cfg.seed ^ 0xEC5A_17CE,
+            groups,
+            staging: self.pilot.staging.clone(),
+        };
+        let n = self.n_replicas();
+        let cores = match kind {
+            // S-exchange's single-point tasks need as many cores as the
+            // exchange group has members (Amber group files).
+            ExchangeKind::Salt => self.grid.dims[dim].len().min(self.pilot.cores()),
+            _ => 1,
+        };
+        let duration = if self.simulated {
+            let secs = match kind {
+                // Core-aware: the per-replica single-point tasks batch onto
+                // the pilot's cores (Fig. 10's Mode II blow-up).
+                ExchangeKind::Salt => self.perf.exchange.salt_wall_seconds(
+                    n,
+                    self.pilot.cores(),
+                    self.grid.dims[dim].len(),
+                ),
+                _ => self.perf.exchange.exchange_seconds(kind, n),
+            };
+            // NAMD's exchange path is burstier (Fig. 8): same mean, larger
+            // sigma.
+            let sigma = if self.cfg.engine == EngineChoice::Namd {
+                self.perf.exchange.namd_sigma
+            } else {
+                self.perf.noise.exchange_sigma
+            };
+            DurationSpec::Modeled { seconds: secs, sigma }
+        } else {
+            DurationSpec::Measured
+        };
+        let desc = UnitDescription::new(
+            format!("exchange-{}-d{dim}-c{cycle:04}", kind.letter()),
+            "repex-exchange",
+            cores,
+        )
+        .with_duration(duration);
+        let engine = self.amm.exchange_engine();
+        let work: TaskWork<TaskResult> =
+            Box::new(move || crate::ram::run_exchange(input, engine).map(TaskResult::Exchange));
+        (desc, work)
+    }
+
+    /// Apply accepted swaps: occupants of the two slots trade places. For
+    /// temperature dimensions, velocities are rescaled by sqrt(T_new/T_old)
+    /// (standard REMD practice so the kinetic energy matches the new bath).
+    pub fn apply_swaps(&mut self, dim: usize, swaps: &[(usize, usize)]) {
+        let is_t = self.dim_kind(dim) == ExchangeKind::Temperature;
+        for &(slot_a, slot_b) in swaps {
+            let ra = self.slot_owner[slot_a];
+            let rb = self.slot_owner[slot_b];
+            if is_t {
+                let pa = SlotParams::resolve(&self.grid, slot_a, self.cfg.base_temperature);
+                let pb = SlotParams::resolve(&self.grid, slot_b, self.cfg.base_temperature);
+                // Replica ra moves slot_a -> slot_b.
+                rescale_velocities(&self.replicas[ra], (pb.temperature / pa.temperature).sqrt());
+                rescale_velocities(&self.replicas[rb], (pa.temperature / pb.temperature).sqrt());
+            }
+            self.slot_owner.swap(slot_a, slot_b);
+            self.replicas[ra].slot = slot_b;
+            self.replicas[rb].slot = slot_a;
+        }
+        // Update round-trip tracking for 1-D ladders.
+        if let Some(rt) = &mut self.round_trips {
+            for r in &self.replicas {
+                rt.record(r.id, r.slot);
+            }
+        }
+    }
+
+    /// Fold an exchange report's per-pair outcomes into the 1-D
+    /// neighbour-pair acceptance table.
+    pub fn record_pair_outcomes(&mut self, outcomes: &[(usize, usize, bool)]) {
+        if self.grid.n_dims() != 1 {
+            return;
+        }
+        let n = self.grid.n_slots();
+        if self.pair_acceptance.len() != n.saturating_sub(1) {
+            self.pair_acceptance =
+                vec![exchange::stats::AcceptanceStats::default(); n.saturating_sub(1)];
+        }
+        for &(lo, hi, accepted) in outcomes {
+            if hi == lo + 1 {
+                self.pair_acceptance[lo].record(accepted);
+            }
+        }
+    }
+
+    /// Record each replica's current rung (1-D simulations; call once per
+    /// cycle after the exchange).
+    pub fn record_rungs(&mut self) {
+        if self.grid.n_dims() != 1 {
+            return;
+        }
+        if self.rung_history.len() != self.replicas.len() {
+            self.rung_history = vec![Vec::new(); self.replicas.len()];
+        }
+        for r in &self.replicas {
+            self.rung_history[r.id].push(r.slot);
+        }
+    }
+
+    /// Record MD trace samples against the slot's window (production cycles
+    /// only; earlier cycles are equilibration).
+    pub fn record_samples_at(&mut self, slot: usize, cycle: u64, trace: &[(f64, f64)]) {
+        if trace.is_empty() || cycle < self.cfg.production_after_cycle {
+            return;
+        }
+        self.window_samples.entry(slot).or_default().extend_from_slice(trace);
+    }
+
+    /// Record MD trace samples against the slot's window.
+    pub fn record_samples(&mut self, slot: usize, trace: &[(f64, f64)]) {
+        if trace.is_empty() {
+            return;
+        }
+        self.window_samples.entry(slot).or_default().extend_from_slice(trace);
+    }
+
+    /// Extract the per-window sample sets for analysis.
+    pub fn window_sample_report(&self) -> Vec<WindowSamples> {
+        let mut out: Vec<WindowSamples> = self
+            .window_samples
+            .iter()
+            .map(|(&slot, samples)| {
+                let params = SlotParams::resolve(&self.grid, slot, self.cfg.base_temperature);
+                WindowSamples {
+                    slot,
+                    temperature: params.temperature,
+                    restraints: params
+                        .restraints
+                        .iter()
+                        .map(|r| (r.dihedral.clone(), r.center_deg, r.k_deg))
+                        .collect(),
+                    samples: samples.clone(),
+                }
+            })
+            .collect();
+        out.sort_by_key(|w| w.slot);
+        out
+    }
+}
+
+fn rescale_velocities(replica: &Replica, factor: f64) {
+    let mut sys = replica.system.lock();
+    for v in &mut sys.state.velocities {
+        *v *= factor;
+    }
+}
+
+/// Map a dimension's exchange kind letter for reporting.
+pub fn kind_letter(kind: ExchangeKind) -> char {
+    kind.letter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::build_ctx;
+
+    fn small_ctx() -> DriverCtx {
+        let mut cfg = SimulationConfig::t_remd(8, 500, 2);
+        cfg.surrogate_steps = 20;
+        build_ctx(cfg).unwrap()
+    }
+
+    #[test]
+    fn ctx_construction_basics() {
+        let ctx = small_ctx();
+        assert_eq!(ctx.n_replicas(), 8);
+        assert_eq!(ctx.slot_owner, (0..8).collect::<Vec<_>>());
+        assert_eq!(ctx.cost_atoms(), 2881);
+        assert_eq!(ctx.engine_kind(), EngineKind::Sander);
+        assert!(ctx.simulated);
+        // Calibration: 500 steps on 2881 atoms ≈ 139.6 * 500/6000.
+        let expect = 139.6 * 500.0 / 6000.0;
+        assert!((ctx.md_model_seconds() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn md_spec_uses_surrogate_in_sim_mode() {
+        let ctx = small_ctx();
+        let spec = ctx.md_spec(3, 1, 0);
+        assert_eq!(spec.steps, 500);
+        assert_eq!(spec.run_steps, 20);
+        assert!(matches!(spec.duration, DurationSpec::Modeled { .. }));
+        assert!(spec.params.temperature > 273.0 - 1e-9);
+    }
+
+    #[test]
+    fn seeds_differ_by_replica_and_cycle() {
+        let ctx = small_ctx();
+        assert_ne!(ctx.task_seed(0, 0, 0), ctx.task_seed(1, 0, 0));
+        assert_ne!(ctx.task_seed(0, 0, 0), ctx.task_seed(0, 1, 0));
+        assert_ne!(ctx.task_seed(0, 0, 0), ctx.task_seed(0, 0, 1));
+        assert_eq!(ctx.task_seed(2, 3, 1), ctx.task_seed(2, 3, 1));
+    }
+
+    #[test]
+    fn apply_swaps_updates_mapping_and_rescales() {
+        let mut ctx = small_ctx();
+        // Give replica 0 known velocities.
+        {
+            let mut sys = ctx.replicas[0].system.lock();
+            for v in &mut sys.state.velocities {
+                *v = mdsim::Vec3::new(1.0, 0.0, 0.0);
+            }
+        }
+        let t0 = SlotParams::resolve(&ctx.grid, 0, 300.0).temperature;
+        let t1 = SlotParams::resolve(&ctx.grid, 1, 300.0).temperature;
+        ctx.apply_swaps(0, &[(0, 1)]);
+        assert_eq!(ctx.slot_owner[0], 1);
+        assert_eq!(ctx.slot_owner[1], 0);
+        assert_eq!(ctx.replicas[0].slot, 1);
+        assert_eq!(ctx.replicas[1].slot, 0);
+        let v = ctx.replicas[0].system.lock().state.velocities[0].x;
+        assert!(
+            (v - (t1 / t0).sqrt()).abs() < 1e-12,
+            "velocity rescaled by sqrt(T_new/T_old): {v}"
+        );
+    }
+
+    #[test]
+    fn double_swap_restores_identity() {
+        let mut ctx = small_ctx();
+        ctx.apply_swaps(0, &[(2, 3)]);
+        ctx.apply_swaps(0, &[(2, 3)]);
+        assert_eq!(ctx.slot_owner, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exchange_unit_shape() {
+        let ctx = small_ctx();
+        let (desc, _work) = ctx.exchange_unit(0, 0);
+        assert!(desc.name.starts_with("exchange-T-d0"));
+        assert_eq!(desc.cores, 1, "T exchange is a single MPI task");
+        match desc.duration {
+            DurationSpec::Modeled { seconds, .. } => {
+                let expect = ctx.perf.exchange.exchange_seconds(ExchangeKind::Temperature, 8);
+                assert!((seconds - expect).abs() < 1e-9);
+            }
+            _ => panic!("sim backend uses modeled durations"),
+        }
+    }
+
+    #[test]
+    fn salt_exchange_unit_needs_group_cores() {
+        let mut cfg = SimulationConfig::t_remd(4, 100, 1);
+        cfg.dimensions = vec![crate::config::DimensionConfig::Salt {
+            min_molar: 0.0,
+            max_molar: 1.0,
+            count: 6,
+        }];
+        cfg.surrogate_steps = 10;
+        let ctx = build_ctx(cfg).unwrap();
+        let (desc, _) = ctx.exchange_unit(0, 0);
+        assert_eq!(desc.cores, 6, "as many cores as exchange-group members");
+    }
+
+    #[test]
+    fn window_sample_collection() {
+        let mut ctx = small_ctx();
+        ctx.record_samples(2, &[(0.1, 0.2), (0.3, 0.4)]);
+        ctx.record_samples(2, &[(0.5, 0.6)]);
+        ctx.record_samples(5, &[(1.0, 1.0)]);
+        let report = ctx.window_sample_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].slot, 2);
+        assert_eq!(report[0].samples.len(), 3);
+        assert_eq!(report[1].slot, 5);
+    }
+
+    #[test]
+    fn namd_engine_kind() {
+        let mut cfg = SimulationConfig::t_remd(4, 100, 1);
+        cfg.engine = EngineChoice::Namd;
+        let ctx = build_ctx(cfg).unwrap();
+        assert_eq!(ctx.engine_kind(), EngineKind::Namd2);
+    }
+
+    #[test]
+    fn multicore_amber_uses_pmemd_kind() {
+        let mut cfg = SimulationConfig::t_remd(4, 100, 1);
+        cfg.resource.cores_per_replica = 8;
+        let ctx = build_ctx(cfg).unwrap();
+        assert_eq!(ctx.engine_kind(), EngineKind::PmemdMpi);
+    }
+}

@@ -1,0 +1,291 @@
+//! The synchronous RE pattern: a global barrier between the simulation and
+//! exchange phases (Fig. 1a / Fig. 2 of the paper).
+//!
+//! One cycle of an M-REMD simulation performs, for each dimension in order:
+//! an MD phase over all replicas, data staging, and the exchange in that
+//! dimension ("simulations are performed only in one dimension at any given
+//! instant of time"). Execution Mode II needs no special handling here: when
+//! the pilot has fewer cores than replicas, the core timeline batches the MD
+//! units into waves automatically.
+
+use super::DriverCtx;
+use crate::config::FaultPolicy;
+use crate::report::CycleReport;
+use crate::task::TaskResult;
+use crate::timing::CycleTiming;
+use std::collections::HashMap;
+
+/// Run the configured number of synchronous cycles; returns per-cycle
+/// reports.
+pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
+    let mut reports = Vec::with_capacity(ctx.cfg.n_cycles as usize);
+    for cycle in 0..ctx.cfg.n_cycles {
+        let timing = run_one_cycle(ctx, cycle)?;
+        ctx.record_rungs();
+        reports.push(CycleReport { cycle, timing });
+    }
+    Ok(reports)
+}
+
+fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String> {
+    let n = ctx.n_replicas();
+    let dims = ctx.grid.n_dims();
+    let mut timing = CycleTiming::default();
+
+    // RepEx framework overhead: task preparation and local method calls,
+    // once per cycle (Fig. 5 plots it per cycle).
+    if ctx.simulated {
+        let t = ctx.perf.overhead.repex_seconds(dims, n);
+        ctx.pilot.executor.charge_overhead(t);
+        timing.t_repex_over += t;
+        // RP 0.35's Mode II MPI-scheduling defect (see OverheadModel): only
+        // when the pilot cannot hold all replicas concurrently.
+        let needed = n * ctx.cfg.resource.cores_per_replica;
+        if ctx.pilot.cores() < needed {
+            let t = ctx.perf.overhead.mode2_sched_per_core * ctx.pilot.cores() as f64;
+            ctx.pilot.executor.charge_overhead(t);
+            timing.t_rp_over += t;
+        }
+    }
+
+    for dim in 0..dims {
+        // --- MD phase -----------------------------------------------------
+        // RP overhead: launching N tasks through the agent.
+        if ctx.simulated {
+            let t = ctx.perf.overhead.rp_seconds(n, &ctx.cluster);
+            ctx.pilot.executor.charge_overhead(t);
+            timing.t_rp_over += t;
+        }
+        let md_start = ctx.pilot.executor.now();
+        // name -> (slot, retries) for the relaunch fault policy.
+        let mut in_flight: HashMap<String, (usize, u32)> = HashMap::new();
+        for slot in 0..n {
+            let spec = ctx.md_spec(slot, cycle, dim);
+            let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
+            in_flight.insert(desc.name.clone(), (slot, 0));
+            ctx.pilot.executor.submit(desc, work)?;
+        }
+        // Global barrier: drain every MD completion (relaunching failures
+        // when the policy asks for it).
+        while let Some(done) = ctx.pilot.executor.next_completion() {
+            match done.outcome {
+                Ok(TaskResult::Md(ref md)) => {
+                    ctx.md_core_seconds += done.duration() * done.cores as f64;
+                    ctx.record_samples_at(md.slot, md.cycle, &md.trace);
+                    let r = &mut ctx.replicas[md.replica];
+                    r.stale = false;
+                    r.segments_done += 1;
+                }
+                Ok(other) => {
+                    return Err(format!(
+                        "unexpected non-MD result in MD phase: {:?}",
+                        other.as_exchange().map(|e| e.dim)
+                    ))
+                }
+                Err(reason) => {
+                    ctx.failed_tasks += 1;
+                    let (slot, retries) = *in_flight
+                        .get(&done.name)
+                        .ok_or_else(|| format!("unknown failed unit {}", done.name))?;
+                    let replica_id = ctx.slot_owner[slot];
+                    match ctx.cfg.fault_policy {
+                        FaultPolicy::Relaunch { max_retries } if retries < max_retries => {
+                            ctx.relaunched_tasks += 1;
+                            let mut spec = ctx.md_spec(slot, cycle, dim);
+                            // A fresh attempt gets a perturbed seed so the
+                            // relaunched trajectory is independent.
+                            spec.seed = spec.seed.wrapping_add((retries as u64 + 1) << 32);
+                            let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
+                            in_flight.insert(desc.name.clone(), (slot, retries + 1));
+                            ctx.pilot.executor.submit(desc, work)?;
+                        }
+                        _ => {
+                            // Continue policy (or retries exhausted): the
+                            // replica sits out this cycle's exchange. The
+                            // simulation as a whole keeps running — the
+                            // paper's core fault-tolerance property.
+                            ctx.replicas[replica_id].stale = true;
+                            let _ = reason;
+                        }
+                    }
+                }
+            }
+        }
+        timing.t_md += ctx.pilot.executor.now() - md_start;
+
+        // --- Data staging ---------------------------------------------------
+        let kind = ctx.dim_kind(dim);
+        if ctx.simulated {
+            let t = ctx.perf.data.data_seconds(kind, n, &ctx.cluster);
+            ctx.pilot.executor.charge_overhead(t);
+            timing.t_data += t;
+        }
+
+        // --- Exchange phase -------------------------------------------------
+        if ctx.cfg.no_exchange {
+            timing.t_ex.push((kind, 0.0));
+            continue;
+        }
+        let ex_start = ctx.pilot.executor.now();
+        let (desc, work) = ctx.exchange_unit(dim, cycle);
+        ctx.pilot.executor.submit(desc, work)?;
+        let mut swaps_applied = false;
+        while let Some(done) = ctx.pilot.executor.next_completion() {
+            match done.outcome {
+                Ok(TaskResult::Exchange(report)) => {
+                    ctx.acceptance[dim].merge(&report.stats);
+                    ctx.record_pair_outcomes(&report.pair_outcomes);
+                    ctx.apply_swaps(dim, &report.swaps);
+                    swaps_applied = true;
+                }
+                Ok(_) => return Err("unexpected MD result in exchange phase".into()),
+                Err(_) => {
+                    // A failed exchange (injected fault) skips the swap this
+                    // cycle; replicas keep their parameters.
+                    ctx.failed_tasks += 1;
+                }
+            }
+        }
+        let _ = swaps_applied;
+        timing.t_ex.push((kind, ctx.pilot.executor.now() - ex_start));
+    }
+    Ok(timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DimensionConfig, FaultPolicy, SimulationConfig};
+    use crate::simulation::build_ctx;
+    use hpc::fault::FaultModel;
+
+    fn quick_cfg(n: usize) -> SimulationConfig {
+        let mut cfg = SimulationConfig::t_remd(n, 600, 2);
+        cfg.surrogate_steps = 10;
+        cfg.sample_stride = 5;
+        cfg
+    }
+
+    #[test]
+    fn sync_cycle_produces_timing_decomposition() {
+        let mut ctx = build_ctx(quick_cfg(8)).unwrap();
+        let reports = run_sync(&mut ctx).unwrap();
+        assert_eq!(reports.len(), 2);
+        let t = &reports[0].timing;
+        // MD time ≈ model (600 steps): 139.6 * 600/6000 = 13.96, plus noise.
+        assert!((t.t_md - 13.96).abs() < 2.0, "t_md = {}", t.t_md);
+        assert_eq!(t.t_ex.len(), 1);
+        assert!(t.t_ex[0].1 > 0.0);
+        assert!(t.t_data > 0.0);
+        assert!(t.t_repex_over > 0.0);
+        assert!(t.t_rp_over > 0.0);
+        assert!(t.total() > t.t_md);
+    }
+
+    #[test]
+    fn all_replicas_advance_every_cycle() {
+        let mut ctx = build_ctx(quick_cfg(6)).unwrap();
+        run_sync(&mut ctx).unwrap();
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 2);
+            assert!(!r.stale);
+        }
+        // Samples collected under every window.
+        assert_eq!(ctx.window_samples.len(), 6);
+    }
+
+    #[test]
+    fn exchanges_actually_happen() {
+        let mut cfg = quick_cfg(8);
+        cfg.n_cycles = 6;
+        let mut ctx = build_ctx(cfg).unwrap();
+        run_sync(&mut ctx).unwrap();
+        let acc = &ctx.acceptance[0];
+        assert!(acc.attempts >= 18, "6 cycles × ~3.5 pairs: {}", acc.attempts);
+        // The reduced dipeptide at neighbouring geometric temperatures
+        // exchanges readily; some acceptances must occur.
+        assert!(acc.accepted > 0, "no exchanges accepted in {} attempts", acc.attempts);
+        // Slot assignment is a permutation.
+        let mut sorted = ctx.slot_owner.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mode_ii_runs_in_waves() {
+        // 16 replicas on 4 cores: MD phase must take ~4x one segment.
+        let mut cfg = quick_cfg(16);
+        cfg.resource.cores = Some(4);
+        cfg.n_cycles = 1;
+        let mut ctx = build_ctx(cfg).unwrap();
+        assert_eq!(ctx.cfg.execution_mode().unwrap(), 2);
+        let reports = run_sync(&mut ctx).unwrap();
+        let t_md = reports[0].timing.t_md;
+        let one = 139.6 * 600.0 / 6000.0;
+        assert!(t_md > 3.5 * one && t_md < 4.8 * one, "t_md = {t_md}, one segment = {one}");
+    }
+
+    #[test]
+    fn no_exchange_baseline_skips_exchange() {
+        let mut cfg = quick_cfg(8);
+        cfg.no_exchange = true;
+        let mut ctx = build_ctx(cfg).unwrap();
+        let reports = run_sync(&mut ctx).unwrap();
+        assert_eq!(reports[0].timing.t_ex[0].1, 0.0);
+        assert_eq!(ctx.acceptance[0].attempts, 0);
+    }
+
+    #[test]
+    fn continue_policy_marks_stale_but_run_survives() {
+        let mut cfg = quick_cfg(16);
+        cfg.fault_policy = FaultPolicy::Continue;
+        let mut ctx = build_ctx(cfg).unwrap();
+        // MTBF comparable to task length: plenty of failures.
+        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(20.0)).unwrap();
+        let reports = run_sync(&mut ctx).unwrap();
+        assert_eq!(reports.len(), 2, "simulation completed despite failures");
+        assert!(ctx.failed_tasks > 0, "fault injection produced no failures");
+        assert_eq!(ctx.relaunched_tasks, 0);
+    }
+
+    #[test]
+    fn relaunch_policy_retries_failures() {
+        let mut cfg = quick_cfg(16);
+        cfg.fault_policy = FaultPolicy::Relaunch { max_retries: 25 };
+        let mut ctx = build_ctx(cfg).unwrap();
+        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(40.0)).unwrap();
+        run_sync(&mut ctx).unwrap();
+        assert!(ctx.failed_tasks > 0);
+        assert!(ctx.relaunched_tasks > 0, "relaunch policy must retry");
+        // With generous retries every replica eventually completes both
+        // segments.
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 2);
+        }
+    }
+
+    #[test]
+    fn multidim_cycle_has_exchange_per_dimension() {
+        let mut cfg = quick_cfg(0);
+        cfg.dimensions = vec![
+            DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 3 },
+            DimensionConfig::Salt { min_molar: 0.0, max_molar: 0.5, count: 2 },
+            DimensionConfig::Umbrella { dihedral: "phi".into(), count: 2, k_deg: 0.02 },
+        ];
+        cfg.n_cycles = 1;
+        let mut ctx = build_ctx(cfg).unwrap();
+        assert_eq!(ctx.n_replicas(), 12);
+        let reports = run_sync(&mut ctx).unwrap();
+        let t = &reports[0].timing;
+        assert_eq!(t.t_ex.len(), 3, "one exchange per dimension");
+        let letters: String = t.t_ex.iter().map(|(k, _)| k.letter()).collect();
+        assert_eq!(letters, "TSU");
+        // MD runs once per dimension: t_md ≈ 3 segments.
+        let one = 139.6 * 600.0 / 6000.0;
+        assert!((t.t_md - 3.0 * one).abs() < 3.0, "t_md = {}", t.t_md);
+        // Salt exchange dominates T/U (calibrated model).
+        let t_ex: f64 = t.t_ex[0].1;
+        let s_ex: f64 = t.t_ex[1].1;
+        assert!(s_ex > t_ex, "S ({s_ex}) should exceed T ({t_ex})");
+    }
+}

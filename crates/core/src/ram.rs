@@ -1,0 +1,447 @@
+//! Remote Application Modules (RAM): the exchange calculators.
+//!
+//! RAMs "execute on \[the\] HPC cluster" — here, inside compute-unit payloads.
+//! The exchange math is always real: T-exchange parses the replicas' staged
+//! `mdinfo` files; U-exchange evaluates each window's bias on the partner's
+//! actual coordinates; S-exchange performs the four single-point energy
+//! evaluations per candidate pair through the engine (the cost the paper
+//! singles out as dominating S-REMD).
+
+use crate::task::ExchangeReport;
+use exchange::metropolis::{hamiltonian_delta, metropolis_accept, temperature_delta, umbrella_delta};
+use exchange::pairing::{select_pairs, PairingStrategy};
+use exchange::param::ExchangeParam;
+use exchange::stats::AcceptanceStats;
+use mdsim::engine::MdEngine;
+use mdsim::{DihedralRestraint, System};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Per-slot data the exchange needs.
+pub struct SlotInput {
+    /// Grid slot (ladder position within the group is the index in
+    /// `GroupInput::slots`).
+    pub slot: usize,
+    /// Replica currently occupying the slot.
+    pub replica: usize,
+    /// Staged-file base name for this replica's latest cycle
+    /// (`<base>.mdinfo` must exist for T-exchange).
+    pub file_base: String,
+    /// The rung's parameter in the exchanging dimension.
+    pub param: ExchangeParam,
+    /// Thermostat temperature at this slot (shared across the group except
+    /// in a T dimension).
+    pub temperature: f64,
+    /// Salt concentration at this slot.
+    pub salt_molar: f64,
+    /// Solvent pH at this slot.
+    pub ph: f64,
+    /// All restraints at this slot (for S single-points).
+    pub restraints: Vec<DihedralRestraint>,
+    /// Microstate handle.
+    pub system: Arc<Mutex<System>>,
+    /// Whether this slot's occupant is stale (failed MD, sits out).
+    pub stale: bool,
+}
+
+/// One exchange group: a 1-D sub-ladder (ordered by rung).
+pub struct GroupInput {
+    pub slots: Vec<SlotInput>,
+}
+
+/// The whole exchange task for one dimension.
+pub struct ExchangeInput {
+    pub dim: usize,
+    pub cycle: u64,
+    pub strategy: PairingStrategy,
+    pub seed: u64,
+    pub groups: Vec<GroupInput>,
+    /// Staging area holding the replicas' mdinfo files.
+    pub staging: pilot::staging::StagingArea,
+}
+
+/// Execute the exchange: returns accepted swaps as (slot_a, slot_b) pairs.
+pub fn run_exchange(
+    input: ExchangeInput,
+    engine: Arc<dyn MdEngine>,
+) -> Result<ExchangeReport, String> {
+    let mut swaps = Vec::new();
+    let mut stats = AcceptanceStats::default();
+    let mut pair_outcomes = Vec::new();
+    let mut rng = StdRng::seed_from_u64(
+        input.seed ^ input.cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (input.dim as u64) << 56,
+    );
+    for group in &input.groups {
+        let n = group.slots.len();
+        for (a, b) in select_pairs(input.strategy, n, input.cycle, &mut rng) {
+            let sa = &group.slots[a];
+            let sb = &group.slots[b];
+            if sa.stale || sb.stale {
+                continue; // fault policy Continue: failed replicas sit out
+            }
+            let delta = pair_delta(sa, sb, &input.staging, engine.as_ref())?;
+            let accepted = metropolis_accept(delta, &mut rng);
+            stats.record(accepted);
+            pair_outcomes.push((sa.slot.min(sb.slot), sa.slot.max(sb.slot), accepted));
+            if accepted {
+                swaps.push((sa.slot, sb.slot));
+            }
+        }
+    }
+    Ok(ExchangeReport { dim: input.dim, swaps, stats, pair_outcomes })
+}
+
+/// The Metropolis `delta` for one candidate pair, per exchange type.
+fn pair_delta(
+    sa: &SlotInput,
+    sb: &SlotInput,
+    staging: &pilot::staging::StagingArea,
+    engine: &dyn MdEngine,
+) -> Result<f64, String> {
+    match (&sa.param, &sb.param) {
+        (ExchangeParam::Temperature(ta), ExchangeParam::Temperature(tb)) => {
+            // Physical potential energies from the staged mdinfo files.
+            let ea = crate::amm::amber::read_staged_mdinfo(staging, &sa.file_base)?
+                .physical_potential();
+            let eb = crate::amm::amber::read_staged_mdinfo(staging, &sb.file_base)?
+                .physical_potential();
+            Ok(temperature_delta(*ta, ea, *tb, eb))
+        }
+        (ExchangeParam::Umbrella { .. }, ExchangeParam::Umbrella { .. }) => {
+            let ra = sa.param.as_restraint().expect("umbrella param");
+            let rb = sb.param.as_restraint().expect("umbrella param");
+            let (phi_a, phi_b) = {
+                let sys_a = sa.system.lock();
+                let sys_b = sb.system.lock();
+                (
+                    sys_a
+                        .named_dihedral_angle(&ra.dihedral)
+                        .ok_or_else(|| format!("missing dihedral {}", ra.dihedral))?,
+                    sys_b
+                        .named_dihedral_angle(&rb.dihedral)
+                        .ok_or_else(|| format!("missing dihedral {}", rb.dihedral))?,
+                )
+            };
+            // u_x_of_y: window x's bias on replica-at-slot-y's coordinates.
+            let u_a_of_a = ra.energy_at(phi_a);
+            let u_a_of_b = ra.energy_at(phi_b);
+            let u_b_of_a = rb.energy_at(phi_a);
+            let u_b_of_b = rb.energy_at(phi_b);
+            Ok(umbrella_delta(sa.temperature, u_a_of_a, u_a_of_b, u_b_of_a, u_b_of_b))
+        }
+        (ExchangeParam::Salt(ca), ExchangeParam::Salt(cb)) => {
+            // Four single-point energies through the engine — the expensive
+            // part of S-REMD exchange.
+            let sys_a = sa.system.lock();
+            let sys_b = sb.system.lock();
+            let e_a_of_a = engine.single_point_with(&sys_a, *ca, sa.ph, &sa.restraints).total();
+            let e_a_of_b = engine.single_point_with(&sys_b, *ca, sa.ph, &sa.restraints).total();
+            let e_b_of_a = engine.single_point_with(&sys_a, *cb, sb.ph, &sb.restraints).total();
+            let e_b_of_b = engine.single_point_with(&sys_b, *cb, sb.ph, &sb.restraints).total();
+            Ok(hamiltonian_delta(sa.temperature, e_a_of_a, e_a_of_b, e_b_of_a, e_b_of_b))
+        }
+        (ExchangeParam::Ph(pa), ExchangeParam::Ph(pb)) => {
+            // pH exchange is a Hamiltonian exchange over the pH-dependent
+            // effective charges of the titratable sites (the paper's
+            // proposed extension; same structure as constant-pH REMD).
+            let sys_a = sa.system.lock();
+            let sys_b = sb.system.lock();
+            let e_a_of_a =
+                engine.single_point_with(&sys_a, sa.salt_molar, *pa, &sa.restraints).total();
+            let e_a_of_b =
+                engine.single_point_with(&sys_b, sa.salt_molar, *pa, &sa.restraints).total();
+            let e_b_of_a =
+                engine.single_point_with(&sys_a, sb.salt_molar, *pb, &sb.restraints).total();
+            let e_b_of_b =
+                engine.single_point_with(&sys_b, sb.salt_molar, *pb, &sb.restraints).total();
+            Ok(hamiltonian_delta(sa.temperature, e_a_of_a, e_a_of_b, e_b_of_a, e_b_of_b))
+        }
+        (pa, pb) => Err(format!(
+            "mismatched exchange parameters in one dimension: {:?} vs {:?}",
+            pa.letter(),
+            pb.letter()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::engine::SanderEngine;
+    use mdsim::io::mdinfo::MdInfo;
+    use mdsim::models::{alanine_dipeptide, dipeptide_forcefield};
+    use pilot::staging::StagingArea;
+
+    fn engine() -> Arc<dyn MdEngine> {
+        Arc::new(SanderEngine::new(dipeptide_forcefield().nonbonded))
+    }
+
+    fn stage_mdinfo(staging: &StagingArea, base: &str, eptot: f64) {
+        let info = MdInfo {
+            nstep: 100,
+            time_ps: 1.0,
+            temperature: 300.0,
+            etot: eptot,
+            ektot: 0.0,
+            eptot,
+            bond: eptot,
+            angle: 0.0,
+            dihed: 0.0,
+            vdwaals: 0.0,
+            eel: 0.0,
+            restraint: 0.0,
+        };
+        staging.put_text(format!("{base}.mdinfo"), info.render());
+    }
+
+    fn t_slot(rung: usize, t: f64, base: &str) -> SlotInput {
+        SlotInput {
+            slot: rung,
+            replica: rung,
+            file_base: base.to_string(),
+            param: ExchangeParam::Temperature(t),
+            temperature: t,
+            salt_molar: 0.0,
+            ph: 7.0,
+            restraints: vec![],
+            system: Arc::new(Mutex::new(alanine_dipeptide())),
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn favorable_temperature_swap_is_accepted() {
+        let staging = StagingArea::new();
+        // Cold replica holds much higher energy: swap always accepted.
+        stage_mdinfo(&staging, "a", 100.0);
+        stage_mdinfo(&staging, "b", -100.0);
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups: vec![GroupInput {
+                slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 400.0, "b")],
+            }],
+            staging,
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.swaps, vec![(0, 1)]);
+        assert_eq!(report.stats.attempts, 1);
+        assert_eq!(report.stats.accepted, 1);
+    }
+
+    #[test]
+    fn very_unfavorable_temperature_swap_is_rejected() {
+        let staging = StagingArea::new();
+        stage_mdinfo(&staging, "a", -10_000.0);
+        stage_mdinfo(&staging, "b", 10_000.0);
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups: vec![GroupInput {
+                slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 301.0, "b")],
+            }],
+            staging,
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert!(report.swaps.is_empty());
+        assert_eq!(report.stats.attempts, 1);
+        assert_eq!(report.stats.accepted, 0);
+    }
+
+    #[test]
+    fn stale_replicas_sit_out() {
+        let staging = StagingArea::new();
+        stage_mdinfo(&staging, "a", 100.0);
+        stage_mdinfo(&staging, "b", -100.0);
+        let mut slot_a = t_slot(0, 300.0, "a");
+        slot_a.stale = true;
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups: vec![GroupInput { slots: vec![slot_a, t_slot(1, 400.0, "b")] }],
+            staging,
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.stats.attempts, 0, "stale pair not attempted");
+        assert!(report.swaps.is_empty());
+    }
+
+    #[test]
+    fn missing_mdinfo_is_an_error() {
+        let staging = StagingArea::new();
+        stage_mdinfo(&staging, "a", 0.0);
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups: vec![GroupInput {
+                slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 330.0, "missing")],
+            }],
+            staging,
+        };
+        assert!(run_exchange(input, engine()).is_err());
+    }
+
+    fn u_slot(rung: usize, center: f64, sys: System) -> SlotInput {
+        SlotInput {
+            slot: rung,
+            replica: rung,
+            file_base: format!("u{rung}"),
+            param: ExchangeParam::Umbrella {
+                dihedral: "phi".into(),
+                center_deg: center,
+                k_deg: 0.02,
+            },
+            temperature: 300.0,
+            salt_molar: 0.0,
+            ph: 7.0,
+            restraints: vec![DihedralRestraint::new("phi", 0.02, center)],
+            system: Arc::new(Mutex::new(sys)),
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn umbrella_exchange_runs_and_records_stats() {
+        // Two adjacent windows on identical coordinates: cross terms equal
+        // self terms, delta = 0, always accepted.
+        let sys = alanine_dipeptide();
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 2,
+            groups: vec![GroupInput {
+                slots: vec![u_slot(0, 0.0, sys.clone()), u_slot(1, 0.0, sys.clone())],
+            }],
+            staging: StagingArea::new(),
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.stats.attempts, 1);
+        assert_eq!(report.stats.accepted, 1, "identical windows exchange freely");
+    }
+
+    fn s_slot(rung: usize, salt: f64) -> SlotInput {
+        SlotInput {
+            slot: rung,
+            replica: rung,
+            file_base: format!("s{rung}"),
+            param: ExchangeParam::Salt(salt),
+            temperature: 300.0,
+            salt_molar: salt,
+            ph: 7.0,
+            restraints: vec![],
+            system: Arc::new(Mutex::new(alanine_dipeptide())),
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn salt_exchange_with_identical_coordinates_accepts() {
+        // Same coordinates in both replicas: e_a_of_b == e_a_of_a, delta = 0.
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 3,
+            groups: vec![GroupInput { slots: vec![s_slot(0, 0.0), s_slot(1, 1.0)] }],
+            staging: StagingArea::new(),
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.stats.accepted, 1);
+    }
+
+    fn ph_slot(rung: usize, ph: f64) -> SlotInput {
+        SlotInput {
+            slot: rung,
+            replica: rung,
+            file_base: format!("p{rung}"),
+            param: ExchangeParam::Ph(ph),
+            temperature: 300.0,
+            salt_molar: 0.0,
+            ph,
+            restraints: vec![],
+            system: Arc::new(Mutex::new(alanine_dipeptide())),
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn ph_exchange_with_identical_coordinates_accepts() {
+        // Same coordinates: cross terms equal self terms, delta = 0.
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 4,
+            groups: vec![GroupInput { slots: vec![ph_slot(0, 4.0), ph_slot(1, 9.0)] }],
+            staging: StagingArea::new(),
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.stats.accepted, 1);
+    }
+
+    #[test]
+    fn ph_changes_single_point_energy_of_titratable_system() {
+        let e = engine();
+        let sys = alanine_dipeptide();
+        let lo = e.single_point_with(&sys, 0.0, 3.0, &[]).total();
+        let hi = e.single_point_with(&sys, 0.0, 11.0, &[]).total();
+        assert!((lo - hi).abs() > 1e-9, "titratable sites must respond to pH");
+    }
+
+    #[test]
+    fn mismatched_params_in_dimension_error() {
+        let staging = StagingArea::new();
+        stage_mdinfo(&staging, "a", 0.0);
+        let mixed = GroupInput {
+            slots: vec![t_slot(0, 300.0, "a"), s_slot(1, 0.5)],
+        };
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups: vec![mixed],
+            staging,
+        };
+        assert!(run_exchange(input, engine()).is_err());
+    }
+
+    #[test]
+    fn multiple_groups_all_processed() {
+        let staging = StagingArea::new();
+        for g in 0..3 {
+            stage_mdinfo(&staging, &format!("g{g}a"), 50.0);
+            stage_mdinfo(&staging, &format!("g{g}b"), -50.0);
+        }
+        let groups = (0..3)
+            .map(|g| GroupInput {
+                slots: vec![
+                    t_slot(2 * g, 300.0, &format!("g{g}a")),
+                    t_slot(2 * g + 1, 400.0, &format!("g{g}b")),
+                ],
+            })
+            .collect();
+        let input = ExchangeInput {
+            dim: 0,
+            cycle: 0,
+            strategy: PairingStrategy::NeighborAlternating,
+            seed: 1,
+            groups,
+            staging,
+        };
+        let report = run_exchange(input, engine()).unwrap();
+        assert_eq!(report.stats.attempts, 3);
+        assert_eq!(report.swaps.len(), 3);
+    }
+}

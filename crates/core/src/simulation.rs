@@ -1,0 +1,243 @@
+//! Top-level simulation driver: config → pilot → cycles → report.
+
+use crate::amm::{AmberAmm, Amm, GromacsAmm, NamdAmm};
+use crate::config::{EngineChoice, Pattern, SimulationConfig, Workload};
+use crate::emm::asynchronous::run_async;
+use crate::emm::sync::run_sync;
+use crate::emm::DriverCtx;
+use crate::replica::Replica;
+use crate::report::{CycleReport, SimulationReport};
+use crate::task::TaskResult;
+use exchange::stats::{AcceptanceStats, RoundTripTracker};
+use hpc::fault::FaultModel;
+use hpc::perfmodel::PerfModel;
+use mdsim::models::{alanine_dipeptide, dipeptide_forcefield, solvated_alanine_dipeptide};
+use pilot::{Backend, Pilot, PilotDescription, PilotManager};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Create the pilot for a configuration (exposed for fault-injection tests).
+pub fn make_pilot(
+    cfg: &SimulationConfig,
+    fault: FaultModel,
+) -> Result<Pilot<TaskResult>, String> {
+    let backend = match cfg.resource.backend.as_str() {
+        "simulated" => Backend::Simulated,
+        "local" => Backend::Local,
+        other => return Err(format!("unknown backend {other:?}")),
+    };
+    let mut desc = PilotDescription::new(cfg.cluster()?, cfg.pilot_cores()?);
+    desc.seed = cfg.seed;
+    PilotManager::new(backend).with_faults(fault).submit(desc)
+}
+
+/// Build the full driver context from a validated configuration.
+pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
+    cfg.validate()?;
+    let grid = cfg.build_grid()?;
+    let n = grid.n_slots();
+
+    let base = dipeptide_forcefield().nonbonded;
+    let amm: Arc<dyn Amm> = match cfg.engine {
+        EngineChoice::Amber => Arc::new(AmberAmm::new(base)),
+        EngineChoice::Namd => Arc::new(NamdAmm::new(base)),
+        EngineChoice::Gromacs => Arc::new(GromacsAmm::new(base)),
+    };
+
+    // Build and lightly decorrelate the replicas' initial microstates.
+    let workload = cfg.workload.clone().unwrap_or(Workload::DipeptideVacuum);
+    let mut replicas = Vec::with_capacity(n);
+    for slot in 0..n {
+        let mut system = match &workload {
+            Workload::DipeptideVacuum => alanine_dipeptide(),
+            Workload::DipeptideSolvated { atoms } => {
+                solvated_alanine_dipeptide(*atoms, cfg.seed ^ slot as u64)
+            }
+        };
+        let params = crate::replica::SlotParams::resolve(&grid, slot, cfg.base_temperature);
+        if cfg.minimize_first {
+            let ff = dipeptide_forcefield();
+            mdsim::minimize::minimize(&mut system, &ff, 500, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(slot as u64));
+        system.assign_maxwell_boltzmann(params.temperature, &mut rng);
+        replicas.push(Replica::new(slot, slot, system));
+    }
+
+    let pilot = make_pilot(&cfg, FaultModel::NONE)?;
+    let cluster = cfg.cluster()?;
+    let simulated = cfg.resource.backend == "simulated";
+    let round_trips = (grid.n_dims() == 1 && grid.dims[0].len() >= 2)
+        .then(|| RoundTripTracker::new(n, grid.dims[0].len()));
+    let n_dims = grid.n_dims();
+
+    Ok(DriverCtx {
+        cfg,
+        grid,
+        amm,
+        replicas,
+        slot_owner: (0..n).collect(),
+        pilot,
+        cluster,
+        perf: PerfModel::default(),
+        simulated,
+        acceptance: vec![AcceptanceStats::default(); n_dims],
+        round_trips,
+        window_samples: Default::default(),
+        rung_history: Vec::new(),
+        pair_acceptance: Vec::new(),
+        failed_tasks: 0,
+        relaunched_tasks: 0,
+        md_core_seconds: 0.0,
+    })
+}
+
+/// A complete REMD simulation, ready to run.
+pub struct RemdSimulation {
+    ctx: DriverCtx,
+}
+
+impl RemdSimulation {
+    pub fn new(cfg: SimulationConfig) -> Result<Self, String> {
+        Ok(RemdSimulation { ctx: build_ctx(cfg)? })
+    }
+
+    /// Inject failures (must be called before `run`).
+    pub fn with_faults(mut self, fault: FaultModel) -> Result<Self, String> {
+        self.ctx.pilot = make_pilot(&self.ctx.cfg, fault)?;
+        Ok(self)
+    }
+
+    /// Execute the configured pattern and assemble the report.
+    pub fn run(mut self) -> Result<SimulationReport, String> {
+        let pattern_name;
+        let cycles: Vec<CycleReport>;
+        match self.ctx.cfg.pattern {
+            Pattern::Synchronous => {
+                pattern_name = "sync";
+                cycles = run_sync(&mut self.ctx)?;
+            }
+            Pattern::Asynchronous { .. } => {
+                pattern_name = "async";
+                let _out = run_async(&mut self.ctx)?;
+                cycles = Vec::new();
+            }
+        }
+        let ctx = self.ctx;
+        let makespan = ctx.pilot.executor.now().as_secs();
+        let cores = ctx.pilot.cores();
+        let utilization = if makespan > 0.0 {
+            (ctx.md_core_seconds / (cores as f64 * makespan) * 100.0).min(100.0)
+        } else {
+            0.0
+        };
+        let acceptance = ctx
+            .grid
+            .dims
+            .iter()
+            .zip(&ctx.acceptance)
+            .map(|(d, s)| (d.kind_letter(), *s))
+            .collect();
+        Ok(SimulationReport {
+            title: ctx.cfg.title.clone(),
+            pattern: pattern_name,
+            execution_mode: ctx.cfg.execution_mode()?,
+            n_replicas: ctx.replicas.len(),
+            pilot_cores: cores,
+            cycles,
+            makespan,
+            utilization_percent: utilization,
+            acceptance,
+            round_trips: ctx.round_trips.as_ref().map(|r| r.total_round_trips()).unwrap_or(0),
+            rung_history: ctx.rung_history.clone(),
+            pair_acceptance: ctx.pair_acceptance.clone(),
+            window_samples: ctx.window_sample_report(),
+            failed_tasks: ctx.failed_tasks,
+            relaunched_tasks: ctx.relaunched_tasks,
+            queue_wait: ctx.pilot.queue_wait,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_sync_t_remd() {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 3);
+        cfg.surrogate_steps = 10;
+        cfg.sample_stride = 5;
+        let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(report.pattern, "sync");
+        assert_eq!(report.n_replicas, 8);
+        assert_eq!(report.cycles.len(), 3);
+        assert!(report.makespan > 0.0);
+        assert!(report.utilization_percent > 10.0 && report.utilization_percent <= 100.0);
+        assert_eq!(report.acceptance.len(), 1);
+        assert_eq!(report.acceptance[0].0, 'T');
+        assert!(report.acceptance[0].1.attempts > 0);
+        assert_eq!(report.window_samples.len(), 8);
+        assert!(report.summary().contains("pattern=sync"));
+    }
+
+    #[test]
+    fn end_to_end_async_t_remd() {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 3);
+        cfg.pattern = crate::config::Pattern::Asynchronous { tick_fraction: 0.25 };
+        cfg.surrogate_steps = 10;
+        let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(report.pattern, "async");
+        assert!(report.utilization_percent > 10.0);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn sync_beats_async_utilization_modestly() {
+        // The paper's Fig. 13: sync utilization exceeds async by ~10%.
+        let run = |pattern| {
+            let mut cfg = SimulationConfig::t_remd(24, 600, 4);
+            cfg.pattern = pattern;
+            cfg.surrogate_steps = 5;
+            RemdSimulation::new(cfg).unwrap().run().unwrap().utilization_percent
+        };
+        let sync = run(crate::config::Pattern::Synchronous);
+        let asynch = run(crate::config::Pattern::Asynchronous { tick_fraction: 0.25 });
+        assert!(sync > asynch, "sync {sync}% vs async {asynch}%");
+        assert!(sync - asynch < 35.0, "gap should be modest: {sync} vs {asynch}");
+    }
+
+    #[test]
+    fn local_backend_end_to_end() {
+        let mut cfg = SimulationConfig::t_remd(4, 60, 2);
+        cfg.resource.backend = "local".into();
+        cfg.resource.cluster = "small:16".into();
+        cfg.sample_stride = 10;
+        let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(report.cycles.len(), 2);
+        assert!(report.makespan > 0.0, "real elapsed time");
+        for r in &report.cycles {
+            assert!(r.timing.t_md > 0.0);
+            assert_eq!(r.timing.t_data, 0.0, "no modeled overheads on local backend");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_tracked_in_1d() {
+        let mut cfg = SimulationConfig::t_remd(4, 400, 20);
+        cfg.surrogate_steps = 5;
+        let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        // With 20 cycles on a 4-rung ladder at least some traversal happens;
+        // round trips may still be 0 on unlucky seeds, so just assert the
+        // field is present/consistent.
+        assert!(report.round_trips <= 20 * 4);
+    }
+
+    #[test]
+    fn invalid_config_fails_fast() {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 1);
+        cfg.steps_per_cycle = 0;
+        assert!(RemdSimulation::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Cycle-time decomposition and efficiency metrics (Eqs. 1–4 of the paper).
+
+use hpc::perfmodel::ExchangeKind;
+use serde::{Deserialize, Serialize};
+
+/// Decomposition of one simulation cycle (Eq. 1):
+/// `Tc = T_MD + T_EX + T_data + T_RepEx_over + T_RP_over`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleTiming {
+    /// MD simulation wall time, summed over the cycle's dimension passes.
+    pub t_md: f64,
+    /// Exchange wall time per dimension, in dimension order.
+    pub t_ex: Vec<(ExchangeKind, f64)>,
+    /// Data-movement time.
+    pub t_data: f64,
+    /// RepEx framework overhead (task preparation, local method calls).
+    pub t_repex_over: f64,
+    /// Runtime-system overhead (task launching, internal communication).
+    pub t_rp_over: f64,
+}
+
+impl CycleTiming {
+    /// Total exchange time across dimensions.
+    pub fn t_ex_total(&self) -> f64 {
+        self.t_ex.iter().map(|(_, t)| t).sum()
+    }
+
+    /// The full cycle time `Tc` (Eq. 1).
+    pub fn total(&self) -> f64 {
+        self.t_md + self.t_ex_total() + self.t_data + self.t_repex_over + self.t_rp_over
+    }
+}
+
+/// Weak-scaling parallel efficiency (Eq. 2): `Ew = T1 / TN × 100%`, where
+/// `T1` is the cycle time at the smallest replica count (cores = replicas)
+/// and `TN` the cycle time at N replicas on N cores.
+pub fn weak_efficiency(t_base: f64, t_n: f64) -> f64 {
+    assert!(t_base > 0.0 && t_n > 0.0);
+    t_base / t_n * 100.0
+}
+
+/// Strong-scaling parallel efficiency (Eq. 3): fixed problem size, growing
+/// cores. `t_base` was measured on `cores_base`, `t_n` on `cores_n`;
+/// `Es = T1 / (N × TN) × 100%` with `N = cores_n / cores_base`.
+pub fn strong_efficiency(t_base: f64, cores_base: usize, t_n: f64, cores_n: usize) -> f64 {
+    assert!(t_base > 0.0 && t_n > 0.0 && cores_base > 0 && cores_n > 0);
+    let n = cores_n as f64 / cores_base as f64;
+    t_base / (n * t_n) * 100.0
+}
+
+/// Utilization (Eq. 4): simulated time per CPU-hour achieved by a pattern,
+/// relative to the ideal where CPUs only ever run MD.
+/// Both arguments in the same units (e.g. ns/day per CPU-hour, or simply
+/// busy-fraction); returns percent.
+pub fn utilization_percent(pattern: f64, ideal: f64) -> f64 {
+    assert!(ideal > 0.0);
+    (pattern / ideal * 100.0).clamp(0.0, 100.0)
+}
+
+/// Average of cycle timings (the paper reports "average of 4 simulation
+/// cycles").
+pub fn average_cycles(cycles: &[CycleTiming]) -> CycleTiming {
+    assert!(!cycles.is_empty());
+    let n = cycles.len() as f64;
+    let mut avg = CycleTiming {
+        t_md: cycles.iter().map(|c| c.t_md).sum::<f64>() / n,
+        t_ex: Vec::new(),
+        t_data: cycles.iter().map(|c| c.t_data).sum::<f64>() / n,
+        t_repex_over: cycles.iter().map(|c| c.t_repex_over).sum::<f64>() / n,
+        t_rp_over: cycles.iter().map(|c| c.t_rp_over).sum::<f64>() / n,
+    };
+    let dims = cycles[0].t_ex.len();
+    for d in 0..dims {
+        let kind = cycles[0].t_ex[d].0;
+        let mean = cycles.iter().map(|c| c.t_ex[d].1).sum::<f64>() / n;
+        avg.t_ex.push((kind, mean));
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(md: f64, ex: f64) -> CycleTiming {
+        CycleTiming {
+            t_md: md,
+            t_ex: vec![(ExchangeKind::Temperature, ex)],
+            t_data: 2.0,
+            t_repex_over: 1.0,
+            t_rp_over: 3.0,
+        }
+    }
+
+    #[test]
+    fn eq1_total_is_sum_of_components() {
+        let t = timing(139.6, 10.0);
+        assert!((t.total() - (139.6 + 10.0 + 2.0 + 1.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dimension_exchange_sums() {
+        let t = CycleTiming {
+            t_md: 495.0,
+            t_ex: vec![
+                (ExchangeKind::Temperature, 30.0),
+                (ExchangeKind::Salt, 200.0),
+                (ExchangeKind::Umbrella, 35.0),
+            ],
+            ..Default::default()
+        };
+        assert!((t.t_ex_total() - 265.0).abs() < 1e-12);
+        assert!((t.total() - 760.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_weak_efficiency() {
+        assert!((weak_efficiency(100.0, 100.0) - 100.0).abs() < 1e-12);
+        assert!((weak_efficiency(100.0, 125.0) - 80.0).abs() < 1e-12);
+        // Super-linear is possible in principle (cache effects) and must
+        // not be clamped for weak scaling plots.
+        assert!(weak_efficiency(100.0, 90.0) > 100.0);
+    }
+
+    #[test]
+    fn eq3_strong_efficiency() {
+        // Doubling cores halving time = 100%.
+        assert!((strong_efficiency(100.0, 112, 50.0, 224) - 100.0).abs() < 1e-12);
+        // Doubling cores with no speedup = 50%.
+        assert!((strong_efficiency(100.0, 112, 100.0, 224) - 50.0).abs() < 1e-12);
+        // Same cores = plain ratio.
+        assert!((strong_efficiency(100.0, 112, 100.0, 112) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_utilization() {
+        assert!((utilization_percent(0.8, 1.0) - 80.0).abs() < 1e-12);
+        assert_eq!(utilization_percent(1.2, 1.0), 100.0, "clamped at ideal");
+        assert_eq!(utilization_percent(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn averaging_cycles() {
+        let avg = average_cycles(&[timing(100.0, 10.0), timing(140.0, 20.0)]);
+        assert!((avg.t_md - 120.0).abs() < 1e-12);
+        assert!((avg.t_ex[0].1 - 15.0).abs() < 1e-12);
+        assert!((avg.t_data - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_of_nothing_panics() {
+        average_cycles(&[]);
+    }
+}

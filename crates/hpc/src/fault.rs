@@ -1,0 +1,92 @@
+//! Failure injection.
+//!
+//! Large-scale RE simulations "are more susceptive to both hardware and
+//! software failures, which result in failures of individual replicas"
+//! (Section 2.1). Tasks fail independently with an exponential time-to-
+//! failure; the framework layer decides whether to relaunch or continue.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+/// Exponential per-task failure model.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultModel {
+    /// Mean time between failures for a single running task, in seconds.
+    /// `f64::INFINITY` disables failures.
+    pub mtbf_seconds: f64,
+}
+
+impl FaultModel {
+    pub const NONE: FaultModel = FaultModel { mtbf_seconds: f64::INFINITY };
+
+    pub fn new(mtbf_seconds: f64) -> Self {
+        assert!(mtbf_seconds > 0.0);
+        FaultModel { mtbf_seconds }
+    }
+
+    /// If the task fails before completing `duration` seconds of work,
+    /// return the failure time offset; otherwise `None`.
+    pub fn sample_failure<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Option<f64> {
+        if !self.mtbf_seconds.is_finite() {
+            return None;
+        }
+        let exp = Exp::new(1.0 / self.mtbf_seconds).expect("positive rate");
+        let t = exp.sample(rng);
+        (t < duration).then_some(t)
+    }
+
+    /// Probability that a task of `duration` seconds fails.
+    pub fn failure_probability(&self, duration: f64) -> f64 {
+        if !self.mtbf_seconds.is_finite() {
+            0.0
+        } else {
+            1.0 - (-duration / self.mtbf_seconds).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_fails() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(FaultModel::NONE.sample_failure(1e9, &mut rng).is_none());
+        }
+        assert_eq!(FaultModel::NONE.failure_probability(1e9), 0.0);
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_probability() {
+        let fm = FaultModel::new(1000.0);
+        let duration = 500.0;
+        let expect = fm.failure_probability(duration);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let fails = (0..trials).filter(|_| fm.sample_failure(duration, &mut rng).is_some()).count();
+        let rate = fails as f64 / trials as f64;
+        assert!((rate - expect).abs() < 0.02, "empirical {rate} vs analytic {expect}");
+    }
+
+    #[test]
+    fn failure_time_is_within_duration() {
+        let fm = FaultModel::new(10.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            if let Some(t) = fm.sample_failure(25.0, &mut rng) {
+                assert!((0.0..25.0).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn probability_monotone_in_duration() {
+        let fm = FaultModel::new(100.0);
+        assert!(fm.failure_probability(10.0) < fm.failure_probability(100.0));
+        assert!(fm.failure_probability(100.0) < fm.failure_probability(1000.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared parallel-filesystem performance model.
+//!
+//! The paper's `T_data` term is dominated by intra-cluster staging through
+//! the parallel filesystem ("largest contributing factor is performance of a
+//! parallel file system"). We model a transfer as latency (metadata, open,
+//! close) plus streaming at the per-stream share of aggregate bandwidth.
+
+use crate::cluster::FilesystemSpec;
+
+/// A stateless transfer-time calculator over a [`FilesystemSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SharedFilesystem {
+    pub spec: FilesystemSpec,
+}
+
+impl SharedFilesystem {
+    pub fn new(spec: FilesystemSpec) -> Self {
+        SharedFilesystem { spec }
+    }
+
+    /// Bandwidth available to each of `streams` concurrent transfers.
+    pub fn per_stream_bandwidth(&self, streams: usize) -> f64 {
+        let streams = streams.max(1);
+        // Up to stripe_width streams run at the striped share; beyond that
+        // they divide the aggregate.
+        let effective = streams.max(self.spec.stripe_width);
+        self.spec.bandwidth / effective as f64
+    }
+
+    /// Wall time for one transfer of `bytes`, with `streams` concurrent
+    /// transfers in flight cluster-wide.
+    pub fn transfer_seconds(&self, bytes: u64, streams: usize) -> f64 {
+        self.spec.latency + bytes as f64 / self.per_stream_bandwidth(streams)
+    }
+
+    /// Wall time to move `n_files` files of `bytes` each, all launched
+    /// concurrently (they complete together under fair sharing).
+    pub fn bulk_transfer_seconds(&self, n_files: usize, bytes: u64) -> f64 {
+        if n_files == 0 {
+            return 0.0;
+        }
+        self.transfer_seconds(bytes, n_files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> SharedFilesystem {
+        SharedFilesystem::new(FilesystemSpec { latency: 0.01, bandwidth: 1e9, stripe_width: 10 })
+    }
+
+    #[test]
+    fn latency_floor() {
+        let f = fs();
+        assert!((f.transfer_seconds(0, 1) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_stripe_width_streams_share_stripes() {
+        let f = fs();
+        // 1 stream and 10 streams both get bandwidth/10 per stream.
+        assert_eq!(f.per_stream_bandwidth(1), 1e8);
+        assert_eq!(f.per_stream_bandwidth(10), 1e8);
+    }
+
+    #[test]
+    fn contention_beyond_stripe_width() {
+        let f = fs();
+        assert_eq!(f.per_stream_bandwidth(100), 1e7);
+        let t10 = f.transfer_seconds(1_000_000, 10);
+        let t100 = f.transfer_seconds(1_000_000, 100);
+        assert!(t100 > t10, "more streams must be slower per stream");
+    }
+
+    #[test]
+    fn bulk_transfer_monotone_in_files() {
+        let f = fs();
+        let mut prev = 0.0;
+        for n in [1usize, 10, 100, 1000] {
+            let t = f.bulk_transfer_seconds(n, 100_000);
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert_eq!(f.bulk_transfer_seconds(0, 100_000), 0.0);
+    }
+}

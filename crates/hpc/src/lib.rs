@@ -1,0 +1,26 @@
+//! # hpc — the virtual-cluster substrate
+//!
+//! A discrete-event model of the HPC resources the paper ran on (Stampede,
+//! SuperMIC): core-occupancy timelines, a parallel-filesystem transfer
+//! model, batch-queue waits, failure injection, and task-duration models
+//! calibrated to the paper's measured timings.
+//!
+//! Orchestration behaviour (who waits for whom at barriers, how Execution
+//! Mode II batches replicas onto scarce cores) is *computed exactly* by the
+//! [`timeline::CoreTimeline`] list scheduler; only task durations come from
+//! the calibrated [`perfmodel`] plus lognormal straggler noise.
+
+pub mod cluster;
+pub mod fault;
+pub mod filesystem;
+pub mod perfmodel;
+pub mod queue;
+pub mod time;
+pub mod timeline;
+
+pub use cluster::{ClusterSpec, FilesystemSpec};
+pub use fault::FaultModel;
+pub use filesystem::SharedFilesystem;
+pub use perfmodel::{EngineKind, ExchangeKind, PerfModel};
+pub use time::SimTime;
+pub use timeline::{CoreTimeline, Slot};

@@ -1,0 +1,189 @@
+//! Core-occupancy timeline: the deterministic list scheduler at the heart of
+//! the virtual cluster.
+//!
+//! Every core has a time at which it becomes free. Scheduling a task that
+//! needs `k` cores grabs the `k` earliest-free cores, starts when the last of
+//! them is free (and not before the requested earliest start), and occupies
+//! them for the task duration. This is exactly the greedy policy a pilot
+//! agent applies to its core slots, and it reproduces the batching behaviour
+//! of Execution Mode II (more tasks than cores → waves of execution).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Occupancy state of a fixed pool of cores.
+#[derive(Debug, Clone)]
+pub struct CoreTimeline {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    n_cores: usize,
+    /// Sum of busy core-seconds scheduled so far (for utilization metrics).
+    busy_core_seconds: f64,
+}
+
+/// A scheduled slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl CoreTimeline {
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "timeline needs at least one core");
+        let mut free_at = BinaryHeap::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        CoreTimeline { free_at, n_cores, busy_core_seconds: 0.0 }
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Schedule a task needing `cores` cores for `duration` seconds, starting
+    /// no earlier than `earliest`. Returns the allocated slot.
+    ///
+    /// Panics if `cores` exceeds the pool (callers must split such workloads;
+    /// the pilot layer turns this into a proper error).
+    pub fn schedule(&mut self, cores: usize, duration: f64, earliest: SimTime) -> Slot {
+        assert!(cores > 0 && cores <= self.n_cores, "task needs {cores} of {} cores", self.n_cores);
+        assert!(duration >= 0.0, "negative duration");
+        let mut grabbed = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            grabbed.push(self.free_at.pop().expect("heap has n_cores entries").0);
+        }
+        let start = grabbed.iter().fold(earliest, |acc, t| acc.max(*t));
+        let end = start + duration;
+        for _ in 0..cores {
+            self.free_at.push(Reverse(end));
+        }
+        self.busy_core_seconds += duration * cores as f64;
+        Slot { start, end }
+    }
+
+    /// The time at which all cores are idle (= completion of the last task).
+    pub fn all_idle_at(&self) -> SimTime {
+        self.free_at.iter().map(|Reverse(t)| *t).fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Earliest time any core is free.
+    pub fn next_free_at(&self) -> SimTime {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Impose a global barrier: no core may start new work before `t`
+    /// (used between the MD and exchange phases of the synchronous pattern).
+    pub fn barrier(&mut self, t: SimTime) {
+        let mut new_heap = BinaryHeap::with_capacity(self.n_cores);
+        for Reverse(free) in self.free_at.drain() {
+            new_heap.push(Reverse(free.max(t)));
+        }
+        self.free_at = new_heap;
+    }
+
+    /// Total busy core-seconds scheduled so far.
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.busy_core_seconds
+    }
+
+    /// Utilization over `[0, horizon]`: busy core-seconds / (cores × horizon).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let denom = self.n_cores as f64 * horizon.as_secs();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.busy_core_seconds / denom).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequentializes_when_pool_is_full() {
+        let mut tl = CoreTimeline::new(2);
+        let a = tl.schedule(1, 10.0, SimTime::ZERO);
+        let b = tl.schedule(1, 10.0, SimTime::ZERO);
+        let c = tl.schedule(1, 5.0, SimTime::ZERO);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        // Third task waits for the first free core.
+        assert_eq!(c.start.as_secs(), 10.0);
+        assert_eq!(c.end.as_secs(), 15.0);
+    }
+
+    #[test]
+    fn multicore_task_waits_for_enough_cores() {
+        let mut tl = CoreTimeline::new(4);
+        tl.schedule(3, 7.0, SimTime::ZERO); // cores 0-2 busy until 7
+        let wide = tl.schedule(2, 1.0, SimTime::ZERO); // needs 2: one free now, one at 7
+        assert_eq!(wide.start.as_secs(), 7.0);
+    }
+
+    #[test]
+    fn earliest_constraint_respected() {
+        let mut tl = CoreTimeline::new(1);
+        let s = tl.schedule(1, 1.0, SimTime::seconds(100.0));
+        assert_eq!(s.start.as_secs(), 100.0);
+    }
+
+    #[test]
+    fn barrier_delays_subsequent_work() {
+        let mut tl = CoreTimeline::new(4);
+        tl.schedule(4, 3.0, SimTime::ZERO);
+        tl.barrier(SimTime::seconds(10.0));
+        let s = tl.schedule(1, 1.0, SimTime::ZERO);
+        assert_eq!(s.start.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn mode_ii_batching_shape() {
+        // 8 equal tasks on 2 cores: 4 waves; makespan = 4 * duration.
+        let mut tl = CoreTimeline::new(2);
+        for _ in 0..8 {
+            tl.schedule(1, 5.0, SimTime::ZERO);
+        }
+        assert_eq!(tl.all_idle_at().as_secs(), 20.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut tl = CoreTimeline::new(2);
+        tl.schedule(1, 10.0, SimTime::ZERO);
+        tl.schedule(1, 10.0, SimTime::ZERO);
+        assert_eq!(tl.busy_core_seconds(), 20.0);
+        assert!((tl.utilization(SimTime::seconds(10.0)) - 1.0).abs() < 1e-12);
+        assert!((tl.utilization(SimTime::seconds(20.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_task_panics() {
+        let mut tl = CoreTimeline::new(2);
+        tl.schedule(3, 1.0, SimTime::ZERO);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn makespan_at_least_work_over_cores(
+            n_cores in 1usize..16,
+            durations in proptest::collection::vec(0.1f64..50.0, 1..40),
+        ) {
+            let mut tl = CoreTimeline::new(n_cores);
+            let total: f64 = durations.iter().sum();
+            let longest = durations.iter().cloned().fold(0.0f64, f64::max);
+            for d in &durations {
+                tl.schedule(1, *d, SimTime::ZERO);
+            }
+            let makespan = tl.all_idle_at().as_secs();
+            // Classic bounds: max(work/cores, longest) <= makespan <= work.
+            proptest::prop_assert!(makespan >= total / n_cores as f64 - 1e-9);
+            proptest::prop_assert!(makespan >= longest - 1e-9);
+            proptest::prop_assert!(makespan <= total + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! MD engines.
+//!
+//! An engine is the unit RepEx treats as a black box: it consumes a job
+//! description (steps, thermostat target, salt concentration, restraints),
+//! propagates a [`System`], and reports energies. Three engines mirror the
+//! paper's setup:
+//!
+//! * [`SanderEngine`] — serial, the Amber `sander` analogue (1 core).
+//! * [`PmemdEngine`] — Rayon-parallel force loop, the `pmemd.MPI` analogue;
+//!   like the real code it refuses to run on a single core.
+//! * [`NamdEngine`] — an independent engine with NAMD-style configuration,
+//!   demonstrating engine-independence of the framework.
+
+mod gmx;
+mod namd;
+mod pmemd;
+mod sander;
+
+pub use gmx::GmxEngine;
+pub use namd::NamdEngine;
+pub use pmemd::PmemdEngine;
+pub use sander::SanderEngine;
+
+use crate::forcefield::{DihedralRestraint, EnergyBreakdown, ForceField, NonbondedParams};
+use crate::io::mdinfo::MdInfo;
+use crate::system::{State, System};
+use serde::{Deserialize, Serialize};
+
+/// A fully-specified MD task (the content of one replica's cycle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MdJob {
+    /// Number of integration steps.
+    pub steps: u64,
+    /// Time step in ps.
+    pub dt_ps: f64,
+    /// Thermostat target temperature in K.
+    pub temperature: f64,
+    /// Langevin friction in ps⁻¹.
+    pub gamma_ps: f64,
+    /// RNG seed (replica- and cycle-specific for reproducibility).
+    pub seed: u64,
+    /// Salt concentration in mol/L (S-REMD exchange parameter).
+    pub salt_molar: f64,
+    /// Solvent pH (pH-REMD exchange parameter; 7.0 = neutral reference).
+    pub ph: f64,
+    /// Umbrella restraints (U-REMD exchange parameter).
+    pub restraints: Vec<DihedralRestraint>,
+    /// Record the (phi, psi) dihedrals every this many steps (0 = never).
+    pub sample_stride: u64,
+    /// Skip sampling during the first `sample_warmup` steps of the segment
+    /// (re-equilibration after an accepted exchange).
+    pub sample_warmup: u64,
+}
+
+impl Default for MdJob {
+    fn default() -> Self {
+        MdJob {
+            steps: 1000,
+            dt_ps: 0.002,
+            temperature: 300.0,
+            gamma_ps: 5.0,
+            seed: 1,
+            salt_molar: 0.0,
+            ph: 7.0,
+            restraints: Vec::new(),
+            sample_stride: 0,
+            sample_warmup: 0,
+        }
+    }
+}
+
+/// What an engine returns after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdOutput {
+    /// Final coordinates/velocities (what the restart file holds).
+    pub final_state: State,
+    /// Energy summary at the last step (what `.mdinfo` holds).
+    pub mdinfo: MdInfo,
+    /// Sampled (phi, psi) in radians, if the topology names them and
+    /// `sample_stride > 0`.
+    pub dihedral_trace: Vec<(f64, f64)>,
+}
+
+/// Engine failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Engine cannot run with the requested core count.
+    BadCoreCount { engine: &'static str, requested: usize, minimum: usize },
+    /// The trajectory produced non-finite coordinates.
+    NumericalBlowup { step: u64 },
+    /// Input was inconsistent (e.g. restraint names a missing dihedral).
+    BadInput(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadCoreCount { engine, requested, minimum } => {
+                write!(f, "{engine} cannot run on {requested} core(s); needs at least {minimum}")
+            }
+            EngineError::NumericalBlowup { step } => {
+                write!(f, "non-finite coordinates at step {step}")
+            }
+            EngineError::BadInput(s) => write!(f, "bad engine input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The black-box MD engine interface the framework programs against.
+pub trait MdEngine: Send + Sync {
+    /// Engine family name ("amber", "namd").
+    fn family(&self) -> &'static str;
+
+    /// Executable name as it would appear in a task description
+    /// ("sander", "pmemd.MPI", "namd2").
+    fn executable(&self) -> &'static str;
+
+    /// Minimum cores per task (pmemd.MPI: 2, like the paper notes).
+    fn min_cores(&self) -> usize;
+
+    /// Propagate `system` in place according to `job`.
+    fn run(&self, system: &mut System, job: &MdJob) -> Result<MdOutput, EngineError>;
+
+    /// Single-point energy under given salt/pH/restraint parameters,
+    /// without moving the system. This is the primitive S-, U- and
+    /// pH-exchange need.
+    fn single_point_with(
+        &self,
+        system: &System,
+        salt_molar: f64,
+        ph: f64,
+        restraints: &[DihedralRestraint],
+    ) -> EnergyBreakdown;
+
+    /// Single-point energy at neutral pH (convenience).
+    fn single_point(
+        &self,
+        system: &System,
+        salt_molar: f64,
+        restraints: &[DihedralRestraint],
+    ) -> EnergyBreakdown {
+        self.single_point_with(system, salt_molar, 7.0, restraints)
+    }
+}
+
+/// Shared helper: build the per-job force field from an engine's base
+/// nonbonded parameters plus the job's exchange parameters.
+pub(crate) fn job_forcefield(
+    base: &NonbondedParams,
+    salt_molar: f64,
+    ph: f64,
+    restraints: &[DihedralRestraint],
+) -> ForceField {
+    let mut ff = ForceField::new(NonbondedParams { salt_molar, ph, ..*base });
+    ff.set_restraints(restraints.to_vec());
+    ff
+}
+
+/// Shared helper: validate that every restraint names a dihedral that exists.
+pub(crate) fn validate_restraints(
+    system: &System,
+    restraints: &[DihedralRestraint],
+) -> Result<(), EngineError> {
+    for r in restraints {
+        if system.topology.dihedral(&r.dihedral).is_none() {
+            return Err(EngineError::BadInput(format!(
+                "restraint references unknown dihedral {:?}",
+                r.dihedral
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{alanine_dipeptide, dipeptide_forcefield};
+
+    #[test]
+    fn job_forcefield_applies_exchange_params() {
+        let base = dipeptide_forcefield().nonbonded;
+        let rs = vec![DihedralRestraint::new("phi", 0.02, 45.0)];
+        let ff = job_forcefield(&base, 0.3, 7.0, &rs);
+        assert_eq!(ff.nonbonded.salt_molar, 0.3);
+        assert_eq!(ff.nonbonded.cutoff, base.cutoff);
+        assert_eq!(ff.restraints.len(), 1);
+    }
+
+    #[test]
+    fn validate_restraints_catches_unknown_dihedral() {
+        let sys = alanine_dipeptide();
+        let ok = vec![DihedralRestraint::new("phi", 0.02, 0.0)];
+        let bad = vec![DihedralRestraint::new("omega", 0.02, 0.0)];
+        assert!(validate_restraints(&sys, &ok).is_ok());
+        assert!(validate_restraints(&sys, &bad).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EngineError::BadCoreCount { engine: "pmemd.MPI", requested: 1, minimum: 2 };
+        assert!(e.to_string().contains("pmemd.MPI"));
+        assert!(EngineError::NumericalBlowup { step: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,106 @@
+//! `pmemd.MPI`-analogue: the parallel Amber-family engine.
+//!
+//! Uses the Rayon-parallel force evaluation. Like the real `pmemd.MPI` (and
+//! as the paper notes in the Fig. 12 experiment), it cannot run on a single
+//! core — RepEx switches executables between `sander` and `pmemd.MPI` based
+//! on the cores-per-replica setting, and our AMM does the same.
+
+use super::sander::run_langevin;
+use super::{job_forcefield, EngineError, MdEngine, MdJob, MdOutput};
+use crate::forcefield::{DihedralRestraint, EnergyBreakdown, NonbondedParams};
+use crate::integrator::EvalMode;
+use crate::system::System;
+
+/// Parallel MD engine (≥ 2 cores per replica), Amber `pmemd.MPI` analogue.
+#[derive(Debug, Clone)]
+pub struct PmemdEngine {
+    pub base: NonbondedParams,
+    /// Cores this instance is configured to use (for validation only; the
+    /// actual parallelism is the Rayon pool of the executing task).
+    pub cores: usize,
+}
+
+impl PmemdEngine {
+    pub fn new(base: NonbondedParams, cores: usize) -> Self {
+        PmemdEngine { base, cores }
+    }
+}
+
+impl MdEngine for PmemdEngine {
+    fn family(&self) -> &'static str {
+        "amber"
+    }
+
+    fn executable(&self) -> &'static str {
+        "pmemd.MPI"
+    }
+
+    fn min_cores(&self) -> usize {
+        2
+    }
+
+    fn run(&self, system: &mut System, job: &MdJob) -> Result<MdOutput, EngineError> {
+        if self.cores < self.min_cores() {
+            return Err(EngineError::BadCoreCount {
+                engine: "pmemd.MPI",
+                requested: self.cores,
+                minimum: self.min_cores(),
+            });
+        }
+        run_langevin(system, job, &self.base, EvalMode::Parallel, 200)
+    }
+
+    fn single_point_with(
+        &self,
+        system: &System,
+        salt_molar: f64,
+        ph: f64,
+        restraints: &[DihedralRestraint],
+    ) -> EnergyBreakdown {
+        let ff = job_forcefield(&self.base, salt_molar, ph, restraints);
+        let mut scratch = vec![crate::vec3::Vec3::ZERO; system.n_atoms()];
+        ff.energy_forces_par(system, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SanderEngine;
+    use crate::models::{dipeptide_forcefield, solvated_alanine_dipeptide};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn refuses_single_core() {
+        let engine = PmemdEngine::new(NonbondedParams::default(), 1);
+        let mut sys = solvated_alanine_dipeptide(300, 1);
+        let err = engine.run(&mut sys, &MdJob::default()).unwrap_err();
+        assert!(matches!(err, EngineError::BadCoreCount { minimum: 2, .. }));
+    }
+
+    #[test]
+    fn matches_sander_energies_at_single_point() {
+        let base = dipeptide_forcefield().nonbonded;
+        let pmemd = PmemdEngine::new(base, 4);
+        let sander = SanderEngine::new(base);
+        let mut sys = solvated_alanine_dipeptide(450, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        sys.assign_maxwell_boltzmann(300.0, &mut rng);
+        let a = sander.single_point(&sys, 0.2, &[]);
+        let b = pmemd.single_point(&sys, 0.2, &[]);
+        assert!((a.total() - b.total()).abs() < 1e-8, "{} vs {}", a.total(), b.total());
+    }
+
+    #[test]
+    fn runs_solvated_system() {
+        let engine = PmemdEngine::new(dipeptide_forcefield().nonbonded, 4);
+        let mut sys = solvated_alanine_dipeptide(500, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        sys.assign_maxwell_boltzmann(300.0, &mut rng);
+        let job = MdJob { steps: 50, dt_ps: 0.001, ..Default::default() };
+        let out = engine.run(&mut sys, &job).unwrap();
+        assert!(out.final_state.is_finite());
+        assert_eq!(out.final_state.step, 50);
+    }
+}

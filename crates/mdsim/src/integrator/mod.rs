@@ -1,0 +1,113 @@
+//! Time integrators: NVE velocity Verlet and Langevin (BAOAB) dynamics.
+
+mod langevin;
+mod verlet;
+
+pub use langevin::LangevinBaoab;
+pub use verlet::VelocityVerlet;
+
+use crate::forcefield::{EnergyBreakdown, ForceField};
+use crate::system::System;
+use crate::vec3::Vec3;
+use rand::RngCore;
+
+/// Whether the force evaluation runs serially or on the Rayon pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    Serial,
+    Parallel,
+}
+
+impl EvalMode {
+    pub(crate) fn energy_forces(
+        self,
+        ff: &ForceField,
+        system: &System,
+        forces: &mut [Vec3],
+    ) -> EnergyBreakdown {
+        match self {
+            EvalMode::Serial => ff.energy_forces(system, forces),
+            EvalMode::Parallel => ff.energy_forces_par(system, forces),
+        }
+    }
+}
+
+/// A propagator advancing a [`System`] one step at a time.
+///
+/// Integrators own their scratch force buffers so stepping does not allocate.
+pub trait Integrator {
+    /// Advance by one step; returns the potential-energy breakdown evaluated
+    /// during the step (at the new positions).
+    fn step(
+        &mut self,
+        system: &mut System,
+        ff: &ForceField,
+        mode: EvalMode,
+        rng: &mut dyn RngCore,
+    ) -> EnergyBreakdown;
+
+    /// The time step in ps.
+    fn dt_ps(&self) -> f64;
+
+    /// Drop cached forces (call after positions change externally, e.g. when
+    /// a restart file is loaded or an exchange swaps configurations).
+    fn invalidate(&mut self);
+}
+
+/// Run `n` steps and return the last breakdown (convenience for tests and
+/// the engines).
+pub fn run_steps(
+    integrator: &mut dyn Integrator,
+    system: &mut System,
+    ff: &ForceField,
+    mode: EvalMode,
+    rng: &mut dyn RngCore,
+    n: u64,
+) -> EnergyBreakdown {
+    let mut last = EnergyBreakdown::default();
+    for _ in 0..n {
+        last = integrator.step(system, ff, mode, rng);
+    }
+    last
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::system::{PbcBox, State, System};
+    use crate::topology::{Atom, Bond, Topology};
+    use crate::vec3::Vec3;
+
+    /// A diatomic with a harmonic bond: analytically solvable.
+    pub fn diatomic(k: f64, r0: f64, stretch: f64) -> System {
+        let top = Topology {
+            atoms: vec![Atom::lj(12.0, 0.0, 3.0); 2],
+            bonds: vec![Bond { i: 0, j: 1, k, r0 }],
+            ..Default::default()
+        };
+        let mut state = State::zeros(2);
+        state.positions[1] = Vec3::new(r0 + stretch, 0.0, 0.0);
+        System::new(top, PbcBox::VACUUM, state).unwrap()
+    }
+
+    /// A small LJ cluster for thermostat tests.
+    pub fn lj_lattice(n_side: usize, spacing: f64) -> System {
+        let n = n_side * n_side * n_side;
+        let top = Topology {
+            atoms: vec![Atom::lj(40.0, 0.24, 3.4); n],
+            ..Default::default()
+        };
+        let mut state = State::zeros(n);
+        let mut idx = 0;
+        for x in 0..n_side {
+            for y in 0..n_side {
+                for z in 0..n_side {
+                    state.positions[idx] =
+                        Vec3::new(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing);
+                    idx += 1;
+                }
+            }
+        }
+        let l = n_side as f64 * spacing;
+        System::new(top, PbcBox::cubic(l), state).unwrap()
+    }
+}

@@ -1,0 +1,159 @@
+//! Amber-style `mdinfo` energy summaries.
+//!
+//! The paper's exchange phase stages each replica's `.mdinfo` file to a
+//! shared staging area; the exchange calculators parse energies out of them.
+//! Our RAM does exactly the same with this format.
+
+use crate::forcefield::EnergyBreakdown;
+use std::fmt::Write as _;
+
+/// Parsed energy record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdInfo {
+    pub nstep: u64,
+    pub time_ps: f64,
+    pub temperature: f64,
+    pub etot: f64,
+    pub ektot: f64,
+    pub eptot: f64,
+    pub bond: f64,
+    pub angle: f64,
+    pub dihed: f64,
+    pub vdwaals: f64,
+    pub eel: f64,
+    pub restraint: f64,
+}
+
+impl MdInfo {
+    pub fn from_breakdown(
+        nstep: u64,
+        time_ps: f64,
+        temperature: f64,
+        kinetic: f64,
+        e: &EnergyBreakdown,
+    ) -> Self {
+        MdInfo {
+            nstep,
+            time_ps,
+            temperature,
+            etot: e.total() + kinetic,
+            ektot: kinetic,
+            eptot: e.total(),
+            bond: e.bond,
+            angle: e.angle,
+            dihed: e.torsion,
+            vdwaals: e.lj,
+            eel: e.coulomb,
+            restraint: e.restraint,
+        }
+    }
+
+    /// Potential energy without the restraint term (used by T-exchange).
+    pub fn physical_potential(&self) -> f64 {
+        self.eptot - self.restraint
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let _ = writeln!(
+            s,
+            " NSTEP = {:>10}   TIME(PS) = {:>12.3}  TEMP(K) = {:>8.2}",
+            self.nstep, self.time_ps, self.temperature
+        );
+        let _ = writeln!(
+            s,
+            " Etot   = {:>14.4}  EKtot   = {:>14.4}  EPtot      = {:>14.4}",
+            self.etot, self.ektot, self.eptot
+        );
+        let _ = writeln!(
+            s,
+            " BOND   = {:>14.4}  ANGLE   = {:>14.4}  DIHED      = {:>14.4}",
+            self.bond, self.angle, self.dihed
+        );
+        let _ = writeln!(
+            s,
+            " VDWAALS= {:>14.4}  EEL     = {:>14.4}  RESTRAINT  = {:>14.4}",
+            self.vdwaals, self.eel, self.restraint
+        );
+        s
+    }
+
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let grab = |key: &str| -> Result<f64, String> {
+            // Find "KEY" then the next '=' then the number.
+            let pos = text.find(key).ok_or_else(|| format!("missing field {key}"))?;
+            let rest = &text[pos + key.len()..];
+            let eq = rest.find('=').ok_or_else(|| format!("missing '=' after {key}"))?;
+            rest[eq + 1..]
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| format!("missing value for {key}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("bad value for {key}: {e}"))
+        };
+        Ok(MdInfo {
+            nstep: grab("NSTEP")? as u64,
+            time_ps: grab("TIME(PS)")?,
+            temperature: grab("TEMP(K)")?,
+            etot: grab("Etot")?,
+            ektot: grab("EKtot")?,
+            eptot: grab("EPtot")?,
+            bond: grab("BOND")?,
+            angle: grab("ANGLE")?,
+            dihed: grab("DIHED")?,
+            vdwaals: grab("VDWAALS")?,
+            eel: grab("EEL")?,
+            restraint: grab("RESTRAINT")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MdInfo {
+        let e = EnergyBreakdown {
+            bond: 12.5,
+            angle: 8.25,
+            torsion: 4.0,
+            lj: -35.75,
+            coulomb: -120.0,
+            restraint: 2.5,
+        };
+        MdInfo::from_breakdown(6000, 12.0, 297.31, 55.5, &e)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let info = sample();
+        let back = MdInfo::parse(&info.render()).unwrap();
+        assert_eq!(back.nstep, 6000);
+        assert!((back.eptot - info.eptot).abs() < 1e-3);
+        assert!((back.restraint - 2.5).abs() < 1e-3);
+        assert!((back.temperature - 297.31).abs() < 1e-2);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let info = sample();
+        assert!((info.etot - (info.ektot + info.eptot)).abs() < 1e-9);
+        let parts = info.bond + info.angle + info.dihed + info.vdwaals + info.eel + info.restraint;
+        assert!((info.eptot - parts).abs() < 1e-9);
+        assert!((info.physical_potential() - (info.eptot - info.restraint)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_field_is_error() {
+        let text = sample().render().replace("EEL", "XXX");
+        assert!(MdInfo::parse(&text).is_err());
+    }
+
+    #[test]
+    fn parse_negative_energies() {
+        let info = sample();
+        let back = MdInfo::parse(&info.render()).unwrap();
+        assert!(back.eel < 0.0);
+        assert!(back.vdwaals < 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Amber-style restart files (`.rst7`, formatted).
+//!
+//! Format: a title line; a line with the atom count and the simulation time
+//! in ps; coordinates (6 fixed-width `%15.7f` fields per line); velocities
+//! in the same layout. (Amber's rst7 uses `%12.7f`; we widen to 15 so fields
+//! can never run together for large coordinates.) This is the file the AMM
+//! stages between MD cycles and that exchange winners swap.
+
+use crate::system::State;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartError(pub String);
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "restart file error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+/// Serialize a [`State`] to restart-file text.
+pub fn write_restart(title: &str, state: &State) -> String {
+    let n = state.n_atoms();
+    let mut s = String::with_capacity(32 + n * 80);
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "{n:6}{:15.7}", state.time_ps);
+    write_triplets(&mut s, &state.positions);
+    write_triplets(&mut s, &state.velocities);
+    s
+}
+
+fn write_triplets(s: &mut String, vecs: &[Vec3]) {
+    let mut fields = 0;
+    for v in vecs {
+        for c in [v.x, v.y, v.z] {
+            let _ = write!(s, "{c:15.7}");
+            fields += 1;
+            if fields % 6 == 0 {
+                s.push('\n');
+            }
+        }
+    }
+    if fields % 6 != 0 {
+        s.push('\n');
+    }
+}
+
+/// Parse restart-file text back into a [`State`] (step is not stored in the
+/// format; callers track it separately, matching Amber).
+pub fn read_restart(text: &str) -> Result<State, RestartError> {
+    let mut lines = text.lines();
+    let _title = lines.next().ok_or_else(|| RestartError("empty file".into()))?;
+    let header = lines.next().ok_or_else(|| RestartError("missing header line".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| RestartError(format!("bad atom count in {header:?}")))?;
+    let time_ps: f64 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| RestartError(format!("bad time in {header:?}")))?;
+
+    let rest: String = lines.collect::<Vec<_>>().join(" ");
+    let values: Vec<f64> = rest
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|_| RestartError(format!("bad float {t:?}"))))
+        .collect::<Result<_, _>>()?;
+    if values.len() != 6 * n {
+        return Err(RestartError(format!(
+            "expected {} values for {n} atoms, found {}",
+            6 * n,
+            values.len()
+        )));
+    }
+    let to_vecs = |vals: &[f64]| -> Vec<Vec3> {
+        vals.chunks_exact(3).map(|c| Vec3::new(c[0], c[1], c[2])).collect()
+    };
+    Ok(State {
+        positions: to_vecs(&values[..3 * n]),
+        velocities: to_vecs(&values[3 * n..]),
+        time_ps,
+        step: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_state(n: usize) -> State {
+        let mut st = State::zeros(n);
+        for (i, p) in st.positions.iter_mut().enumerate() {
+            *p = Vec3::new(i as f64 * 1.1, -(i as f64) * 0.3, 42.0 + i as f64);
+        }
+        for (i, v) in st.velocities.iter_mut().enumerate() {
+            *v = Vec3::new(0.001 * i as f64, -0.002, 0.5);
+        }
+        st.time_ps = 12.5;
+        st
+    }
+
+    #[test]
+    fn roundtrip_exact_enough() {
+        let st = sample_state(7);
+        let text = write_restart("replica 3 cycle 9", &st);
+        let back = read_restart(&text).unwrap();
+        assert_eq!(back.n_atoms(), 7);
+        assert!((back.time_ps - 12.5).abs() < 1e-6);
+        for (a, b) in st.positions.iter().zip(&back.positions) {
+            assert!((*a - *b).norm() < 1e-6);
+        }
+        for (a, b) in st.velocities.iter().zip(&back.velocities) {
+            assert!((*a - *b).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn line_layout_is_six_fields() {
+        let st = sample_state(4); // 12 coords = 2 lines of 6
+        let text = write_restart("t", &st);
+        let lines: Vec<&str> = text.lines().collect();
+        // title + header + 2 coord lines + 2 vel lines
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[2].split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let st = sample_state(5);
+        let text = write_restart("t", &st);
+        let cut = &text[..text.len() - 30];
+        assert!(read_restart(cut).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(read_restart("").is_err());
+        assert!(read_restart("title\nnot_a_number 0.0\n").is_err());
+        assert!(read_restart("title\n2 0.0\n1.0 2.0 x 4.0 5.0 6.0\n").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_states(n in 1usize..40, seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut st = State::zeros(n);
+            for p in &mut st.positions {
+                *p = Vec3::new(rng.gen_range(-999.0..999.0), rng.gen_range(-999.0..999.0), rng.gen_range(-999.0..999.0));
+            }
+            for v in &mut st.velocities {
+                *v = Vec3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            }
+            st.time_ps = rng.gen_range(0.0..1e4);
+            let back = read_restart(&write_restart("x", &st)).unwrap();
+            for (a, b) in st.positions.iter().zip(&back.positions) {
+                prop_assert!((*a - *b).norm() < 1e-5);
+            }
+            for (a, b) in st.velocities.iter().zip(&back.velocities) {
+                prop_assert!((*a - *b).norm() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Trajectory output in the XYZ text format (one frame per MD report
+//! interval). XYZ is the simplest interoperable trajectory format — VMD,
+//! OVITO and ASE all read it — and the natural choice for a text-staging
+//! framework.
+
+use crate::system::System;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+
+/// An in-memory XYZ trajectory writer.
+#[derive(Debug, Clone, Default)]
+pub struct XyzTrajectory {
+    buffer: String,
+    frames: usize,
+}
+
+impl XyzTrajectory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the system's current coordinates as one frame. The comment
+    /// line carries the step and simulated time, Amber-style.
+    pub fn add_frame(&mut self, system: &System) {
+        let n = system.n_atoms();
+        let _ = writeln!(self.buffer, "{n}");
+        let _ = writeln!(
+            self.buffer,
+            "step={} time_ps={:.4}",
+            system.state.step, system.state.time_ps
+        );
+        for (i, p) in system.state.positions.iter().enumerate() {
+            // Element label: carbon for backbone atoms, oxygen for solvent
+            // (cosmetic; downstream tools only need consistency).
+            let label = if i < crate::models::BACKBONE_ATOMS { "C" } else { "O" };
+            let _ = writeln!(self.buffer, "{label} {:12.6} {:12.6} {:12.6}", p.x, p.y, p.z);
+        }
+        self.frames += 1;
+    }
+
+    pub fn n_frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The accumulated XYZ text (stage this as `<base>.xyz`).
+    pub fn as_text(&self) -> &str {
+        &self.buffer
+    }
+
+    pub fn into_text(self) -> String {
+        self.buffer
+    }
+}
+
+/// A parsed XYZ frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XyzFrame {
+    pub step: u64,
+    pub time_ps: f64,
+    pub positions: Vec<Vec3>,
+}
+
+/// Parse XYZ text into frames.
+pub fn parse_xyz(text: &str) -> Result<Vec<XyzFrame>, String> {
+    let mut frames = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(count_line) = lines.next() {
+        let count_line = count_line.trim();
+        if count_line.is_empty() {
+            continue;
+        }
+        let n: usize =
+            count_line.parse().map_err(|_| format!("bad atom count {count_line:?}"))?;
+        let comment = lines.next().ok_or("missing comment line")?;
+        let mut step = 0u64;
+        let mut time_ps = 0.0f64;
+        for token in comment.split_whitespace() {
+            if let Some(v) = token.strip_prefix("step=") {
+                step = v.parse().map_err(|_| format!("bad step {v:?}"))?;
+            } else if let Some(v) = token.strip_prefix("time_ps=") {
+                time_ps = v.parse().map_err(|_| format!("bad time {v:?}"))?;
+            }
+        }
+        let mut positions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines.next().ok_or("truncated frame")?;
+            let mut parts = line.split_whitespace();
+            let _label = parts.next().ok_or("missing element label")?;
+            let mut coord = |what: &str| -> Result<f64, String> {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("missing {what}"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad {what}: {e}"))
+            };
+            positions.push(Vec3::new(coord("x")?, coord("y")?, coord("z")?));
+        }
+        frames.push(XyzFrame { step, time_ps, positions });
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MdEngine, MdJob, SanderEngine};
+    use crate::models::{alanine_dipeptide, dipeptide_forcefield};
+
+    #[test]
+    fn roundtrip_two_frames() {
+        let sys = alanine_dipeptide();
+        let mut traj = XyzTrajectory::new();
+        traj.add_frame(&sys);
+        let mut sys2 = sys.clone();
+        sys2.state.step = 100;
+        sys2.state.time_ps = 0.2;
+        sys2.state.positions[0].x += 1.5;
+        traj.add_frame(&sys2);
+
+        assert_eq!(traj.n_frames(), 2);
+        let frames = parse_xyz(traj.as_text()).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].step, 100);
+        assert!((frames[1].time_ps - 0.2).abs() < 1e-9);
+        assert!((frames[1].positions[0].x - frames[0].positions[0].x - 1.5).abs() < 1e-5);
+        assert_eq!(frames[0].positions.len(), sys.n_atoms());
+    }
+
+    #[test]
+    fn records_an_actual_md_trajectory() {
+        let engine = SanderEngine::new(dipeptide_forcefield().nonbonded);
+        let mut sys = alanine_dipeptide();
+        let mut traj = XyzTrajectory::new();
+        traj.add_frame(&sys);
+        for _ in 0..3 {
+            engine
+                .run(&mut sys, &MdJob { steps: 50, ..Default::default() })
+                .unwrap();
+            traj.add_frame(&sys);
+        }
+        let frames = parse_xyz(traj.as_text()).unwrap();
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[3].step, 150);
+        // Consecutive frames must differ (the system moved).
+        assert_ne!(frames[0].positions, frames[1].positions);
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(parse_xyz("2\ncomment\nC 1 2 3\n").is_err(), "truncated");
+        assert!(parse_xyz("x\ncomment\n").is_err(), "bad count");
+        assert!(parse_xyz("1\nstep=abc\nC 1 2 3\n").is_err(), "bad step");
+        assert!(parse_xyz("1\nc\nC 1 2\n").is_err(), "missing z");
+        assert!(parse_xyz("").unwrap().is_empty());
+    }
+}

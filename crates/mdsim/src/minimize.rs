@@ -1,0 +1,153 @@
+//! Energy minimization (steepest descent with backtracking line search).
+//!
+//! Real REMD workflows minimize each replica's initial structure before
+//! heating ("Each replica was previously equilibrated", Section 3.4 — and
+//! equilibration protocols start from a minimized structure). The engines
+//! expose this through [`crate::engine`]'s job preparation, and model
+//! builders use it to relax solvated systems before dynamics.
+
+use crate::forcefield::ForceField;
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimizeResult {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Potential energy before.
+    pub initial_energy: f64,
+    /// Potential energy after.
+    pub final_energy: f64,
+    /// RMS force at exit (kcal/mol/Å).
+    pub rms_force: f64,
+    /// Whether the force-tolerance criterion was met.
+    pub converged: bool,
+}
+
+/// Steepest-descent minimization with a backtracking line search.
+///
+/// Stops when the RMS force drops below `f_tol` (kcal/mol/Å) or after
+/// `max_iter` iterations. Robust rather than fast — exactly what relaxing a
+/// clashy starting structure needs.
+pub fn minimize(
+    system: &mut System,
+    ff: &ForceField,
+    max_iter: usize,
+    f_tol: f64,
+) -> MinimizeResult {
+    let n = system.n_atoms();
+    let mut forces = vec![Vec3::ZERO; n];
+    let mut e = ff.energy_forces(system, &mut forces).total();
+    let initial_energy = e;
+    let mut step: f64 = 1e-4; // Å per unit force, adapted by the line search
+    let mut iterations = 0;
+    let mut rms = rms_force(&forces);
+
+    for _ in 0..max_iter {
+        if rms < f_tol {
+            break;
+        }
+        iterations += 1;
+        // Trial move along the force direction.
+        let backup: Vec<Vec3> = system.state.positions.clone();
+        // Cap the largest per-atom displacement at 0.2 Å for stability.
+        let fmax = forces.iter().map(|f| f.norm()).fold(0.0f64, f64::max).max(1e-12);
+        let scale = step.min(0.2 / fmax);
+        for (p, f) in system.state.positions.iter_mut().zip(&forces) {
+            *p += *f * scale;
+        }
+        let mut trial_forces = vec![Vec3::ZERO; n];
+        let e_new = ff.energy_forces(system, &mut trial_forces).total();
+        if e_new < e {
+            // Accept and be slightly more ambitious next time.
+            e = e_new;
+            forces = trial_forces;
+            rms = rms_force(&forces);
+            step *= 1.2;
+        } else {
+            // Reject: restore and shrink.
+            system.state.positions = backup;
+            step *= 0.5;
+            if step < 1e-12 {
+                break; // line search collapsed; forces are as good as it gets
+            }
+        }
+    }
+    MinimizeResult {
+        iterations,
+        initial_energy,
+        final_energy: e,
+        rms_force: rms,
+        converged: rms < f_tol,
+    }
+}
+
+fn rms_force(forces: &[Vec3]) -> f64 {
+    if forces.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = forces.iter().map(|f| f.norm_sq()).sum();
+    (sum_sq / forces.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{alanine_dipeptide, dipeptide_forcefield, lj_fluid, lj_forcefield};
+
+    #[test]
+    fn minimization_lowers_energy_and_forces() {
+        let mut sys = alanine_dipeptide();
+        let ff = dipeptide_forcefield();
+        let before = ff.energy(&sys).total();
+        let result = minimize(&mut sys, &ff, 2000, 0.5);
+        assert!(result.final_energy < before, "{result:?}");
+        assert!(result.final_energy <= result.initial_energy);
+        assert!(result.rms_force < 5.0, "forces relaxed: {result:?}");
+        assert!(sys.state.is_finite());
+    }
+
+    #[test]
+    fn minimized_structure_is_near_stationary() {
+        let mut sys = alanine_dipeptide();
+        let ff = dipeptide_forcefield();
+        let result = minimize(&mut sys, &ff, 20_000, 0.05);
+        assert!(result.converged, "{result:?}");
+        assert!(result.rms_force < 0.05);
+    }
+
+    #[test]
+    fn already_minimized_system_converges_immediately() {
+        let mut sys = alanine_dipeptide();
+        let ff = dipeptide_forcefield();
+        minimize(&mut sys, &ff, 20_000, 0.05);
+        let again = minimize(&mut sys, &ff, 100, 0.05);
+        assert!(again.converged);
+        assert_eq!(again.iterations, 0, "no work when already at tolerance");
+    }
+
+    #[test]
+    fn relaxes_a_clashy_fluid() {
+        // Dense LJ fluid with lattice jitter: minimization must remove the
+        // worst contacts (energy strictly decreases, no blow-up).
+        let mut sys = lj_fluid(64, 0.9, 3);
+        let ff = lj_forcefield();
+        let before = ff.energy(&sys).total();
+        let result = minimize(&mut sys, &ff, 500, 1.0);
+        assert!(result.final_energy < before);
+        assert!(sys.state.is_finite());
+    }
+
+    #[test]
+    fn energy_never_increases_across_iterations() {
+        // The accept/reject line search guarantees monotone energies; verify
+        // via two successive short runs.
+        let mut sys = lj_fluid(27, 0.8, 4);
+        let ff = lj_forcefield();
+        let r1 = minimize(&mut sys, &ff, 50, 1e-9);
+        let r2 = minimize(&mut sys, &ff, 50, 1e-9);
+        assert!(r2.initial_energy <= r1.final_energy + 1e-9);
+        assert!(r2.final_energy <= r2.initial_energy + 1e-9);
+    }
+}

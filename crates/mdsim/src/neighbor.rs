@@ -1,0 +1,303 @@
+//! Neighbor search for the nonbonded loop.
+//!
+//! Two strategies:
+//!
+//! * [`all_pairs`] — O(N²) half loop, exact, used for small systems and as a
+//!   reference in tests.
+//! * [`CellList`] — O(N) linked-cell search, used by the engines when the
+//!   atom count makes the quadratic loop too slow. For periodic boxes the
+//!   cells tile the box; in vacuum the bounding box of the coordinates is
+//!   used.
+//!
+//! Both produce candidate pairs with `i < j` whose separation may exceed the
+//! cutoff slightly (the nonbonded kernel re-checks `r² < rc²`).
+
+use crate::system::PbcBox;
+use crate::vec3::Vec3;
+
+/// Generate all unique pairs `i < j`.
+pub fn all_pairs(n: usize) -> impl Iterator<Item = (u32, u32)> {
+    (0..n as u32).flat_map(move |i| (i + 1..n as u32).map(move |j| (i, j)))
+}
+
+/// Linked-cell neighbor list.
+pub struct CellList {
+    /// Number of cells in each direction.
+    dims: [usize; 3],
+    /// Cell edge lengths.
+    cell: Vec3,
+    /// Origin of cell (0,0,0).
+    origin: Vec3,
+    /// Head-of-chain atom index per cell (`u32::MAX` = empty).
+    heads: Vec<u32>,
+    /// Next atom in the same cell (`u32::MAX` = end).
+    next: Vec<u32>,
+    /// Whether neighbor cells wrap around (periodic).
+    periodic: bool,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl CellList {
+    /// Build a cell list with cells at least `cutoff` wide.
+    pub fn build(positions: &[Vec3], pbc: &PbcBox, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        let (origin, extent, periodic) = match pbc.lengths {
+            Some(l) => (Vec3::ZERO, l, true),
+            None => {
+                let mut lo = Vec3::splat(f64::INFINITY);
+                let mut hi = Vec3::splat(f64::NEG_INFINITY);
+                for p in positions {
+                    lo = lo.min(*p);
+                    hi = hi.max(*p);
+                }
+                if positions.is_empty() {
+                    lo = Vec3::ZERO;
+                    hi = Vec3::splat(cutoff);
+                }
+                // Pad so no atom sits exactly on the upper face.
+                (lo, hi - lo + Vec3::splat(1e-6), false)
+            }
+        };
+        let dims = [
+            ((extent.x / cutoff).floor() as usize).max(1),
+            ((extent.y / cutoff).floor() as usize).max(1),
+            ((extent.z / cutoff).floor() as usize).max(1),
+        ];
+        let cell = Vec3::new(
+            extent.x / dims[0] as f64,
+            extent.y / dims[1] as f64,
+            extent.z / dims[2] as f64,
+        );
+        let mut list = CellList {
+            dims,
+            cell,
+            origin,
+            heads: vec![NONE; dims[0] * dims[1] * dims[2]],
+            next: vec![NONE; positions.len()],
+            periodic,
+        };
+        for (idx, p) in positions.iter().enumerate() {
+            let c = list.cell_of(pbc.wrap(*p - origin) + origin);
+            let flat = list.flat(c);
+            list.next[idx] = list.heads[flat];
+            list.heads[flat] = idx as u32;
+        }
+        list
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Vec3) -> [usize; 3] {
+        let rel = p - self.origin;
+        let clampdim = |v: f64, c: f64, n: usize| -> usize {
+            let i = (v / c).floor() as isize;
+            i.clamp(0, n as isize - 1) as usize
+        };
+        [
+            clampdim(rel.x, self.cell.x, self.dims[0]),
+            clampdim(rel.y, self.cell.y, self.dims[1]),
+            clampdim(rel.z, self.cell.z, self.dims[2]),
+        ]
+    }
+
+    #[inline]
+    fn flat(&self, c: [usize; 3]) -> usize {
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// Collect candidate pairs (`i < j`) from each cell and its half-shell of
+    /// neighbor cells.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.next.len() * 16);
+        let (nx, ny, nz) = (self.dims[0] as isize, self.dims[1] as isize, self.dims[2] as isize);
+        for cz in 0..nz {
+            for cy in 0..ny {
+                for cx in 0..nx {
+                    let home = self.flat([cx as usize, cy as usize, cz as usize]);
+                    // Within the home cell.
+                    let mut a = self.heads[home];
+                    while a != NONE {
+                        let mut b = self.next[a as usize];
+                        while b != NONE {
+                            out.push(ordered(a, b));
+                            b = self.next[b as usize];
+                        }
+                        a = self.next[a as usize];
+                    }
+                    // Half-shell of 13 neighbor cells to avoid double counting.
+                    for (dx, dy, dz) in HALF_SHELL {
+                        let (mut x, mut y, mut z) = (cx + dx, cy + dy, cz + dz);
+                        if self.periodic {
+                            x = x.rem_euclid(nx);
+                            y = y.rem_euclid(ny);
+                            z = z.rem_euclid(nz);
+                        } else if x < 0 || x >= nx || y < 0 || y >= ny || z < 0 || z >= nz {
+                            continue;
+                        }
+                        let other = self.flat([x as usize, y as usize, z as usize]);
+                        if other == home {
+                            // Small periodic boxes can alias a neighbor back
+                            // onto the home cell; skip to avoid duplicates.
+                            continue;
+                        }
+                        let mut a = self.heads[home];
+                        while a != NONE {
+                            let mut b = self.heads[other];
+                            while b != NONE {
+                                out.push(ordered(a, b));
+                                b = self.next[b as usize];
+                            }
+                            a = self.next[a as usize];
+                        }
+                    }
+                }
+            }
+        }
+        // Aliasing in tiny periodic grids (dims < 3) can produce duplicate
+        // pairs through different images; dedup to keep the contract.
+        if self.periodic && (self.dims[0] < 3 || self.dims[1] < 3 || self.dims[2] < 3) {
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// Number of cells (for diagnostics).
+    pub fn n_cells(&self) -> usize {
+        self.heads.len()
+    }
+}
+
+#[inline]
+fn ordered(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// 13 of the 26 neighbor offsets: a deterministic half-shell.
+const HALF_SHELL: [(isize, isize, isize); 13] = [
+    (1, 0, 0),
+    (-1, 1, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (-1, -1, 1),
+    (0, -1, 1),
+    (1, -1, 1),
+    (-1, 0, 1),
+    (0, 0, 1),
+    (1, 0, 1),
+    (-1, 1, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn within_cutoff_pairs(
+        positions: &[Vec3],
+        pbc: &PbcBox,
+        cutoff: f64,
+        pairs: impl Iterator<Item = (u32, u32)>,
+    ) -> BTreeSet<(u32, u32)> {
+        pairs
+            .filter(|&(i, j)| {
+                pbc.min_image(positions[i as usize], positions[j as usize]).norm_sq()
+                    < cutoff * cutoff
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        assert_eq!(all_pairs(5).count(), 10);
+        assert_eq!(all_pairs(0).count(), 0);
+        assert_eq!(all_pairs(1).count(), 0);
+    }
+
+    #[test]
+    fn cell_list_matches_all_pairs_periodic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pbc = PbcBox::cubic(20.0);
+        let positions: Vec<Vec3> = (0..300)
+            .map(|_| Vec3::new(rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0))
+            .collect();
+        let cutoff = 4.0;
+        let cl = CellList::build(&positions, &pbc, cutoff);
+        let from_cells = within_cutoff_pairs(&positions, &pbc, cutoff, cl.pairs().into_iter());
+        let from_all = within_cutoff_pairs(&positions, &pbc, cutoff, all_pairs(positions.len()));
+        assert_eq!(from_cells, from_all);
+    }
+
+    #[test]
+    fn cell_list_matches_all_pairs_vacuum() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pbc = PbcBox::VACUUM;
+        let positions: Vec<Vec3> = (0..200)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * 30.0 - 15.0,
+                    rng.gen::<f64>() * 30.0 - 15.0,
+                    rng.gen::<f64>() * 30.0 - 15.0,
+                )
+            })
+            .collect();
+        let cutoff = 5.0;
+        let cl = CellList::build(&positions, &pbc, cutoff);
+        let from_cells = within_cutoff_pairs(&positions, &pbc, cutoff, cl.pairs().into_iter());
+        let from_all = within_cutoff_pairs(&positions, &pbc, cutoff, all_pairs(positions.len()));
+        assert_eq!(from_cells, from_all);
+    }
+
+    #[test]
+    fn tiny_periodic_box_has_no_duplicates() {
+        // Box barely larger than the cutoff: worst case for cell aliasing.
+        let pbc = PbcBox::cubic(6.0);
+        let positions = vec![
+            Vec3::new(0.5, 0.5, 0.5),
+            Vec3::new(5.5, 5.5, 5.5),
+            Vec3::new(3.0, 3.0, 3.0),
+            Vec3::new(0.2, 5.8, 3.1),
+        ];
+        let cl = CellList::build(&positions, &pbc, 2.9);
+        let pairs = cl.pairs();
+        let set: BTreeSet<_> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), pairs.len(), "duplicate pairs emitted");
+        let from_cells = within_cutoff_pairs(&positions, &pbc, 2.9, pairs.into_iter());
+        let from_all = within_cutoff_pairs(&positions, &pbc, 2.9, all_pairs(positions.len()));
+        assert_eq!(from_cells, from_all);
+    }
+
+    #[test]
+    fn empty_and_single_atom() {
+        let pbc = PbcBox::VACUUM;
+        let cl = CellList::build(&[], &pbc, 3.0);
+        assert!(cl.pairs().is_empty());
+        let cl1 = CellList::build(&[Vec3::ZERO], &pbc, 3.0);
+        assert!(cl1.pairs().is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn cell_list_never_misses_a_pair(seed in 0u64..500, n in 2usize..80) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let l = 12.0 + (seed % 7) as f64;
+            let pbc = PbcBox::cubic(l);
+            let positions: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+                .collect();
+            let cutoff = 3.5;
+            let cl = CellList::build(&positions, &pbc, cutoff);
+            let got = within_cutoff_pairs(&positions, &pbc, cutoff, cl.pairs().into_iter());
+            let expect = within_cutoff_pairs(&positions, &pbc, cutoff, all_pairs(n));
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}

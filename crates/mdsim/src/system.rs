@@ -1,0 +1,291 @@
+//! Dynamic simulation state: positions, velocities and the periodic box.
+
+use crate::topology::Topology;
+use crate::units::{kbt, wrap_angle};
+use crate::vec3::Vec3;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Orthorhombic periodic box (or `None` extent for vacuum).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PbcBox {
+    /// Edge lengths in Å; `None` means no periodicity.
+    pub lengths: Option<Vec3>,
+}
+
+impl PbcBox {
+    pub const VACUUM: PbcBox = PbcBox { lengths: None };
+
+    pub fn cubic(l: f64) -> Self {
+        PbcBox { lengths: Some(Vec3::splat(l)) }
+    }
+
+    /// Minimum-image displacement `a - b`.
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        if let Some(l) = self.lengths {
+            d.x -= l.x * (d.x / l.x).round();
+            d.y -= l.y * (d.y / l.y).round();
+            d.z -= l.z * (d.z / l.z).round();
+        }
+        d
+    }
+
+    /// Wrap a position into the primary cell `[0, L)`.
+    #[inline]
+    pub fn wrap(&self, mut p: Vec3) -> Vec3 {
+        if let Some(l) = self.lengths {
+            p.x -= l.x * (p.x / l.x).floor();
+            p.y -= l.y * (p.y / l.y).floor();
+            p.z -= l.z * (p.z / l.z).floor();
+        }
+        p
+    }
+
+    pub fn volume(&self) -> Option<f64> {
+        self.lengths.map(|l| l.x * l.y * l.z)
+    }
+}
+
+/// Mutable per-step state of a system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    pub positions: Vec<Vec3>,
+    pub velocities: Vec<Vec3>,
+    /// Simulation time in ps.
+    pub time_ps: f64,
+    /// Completed MD steps.
+    pub step: u64,
+}
+
+impl State {
+    pub fn zeros(n: usize) -> Self {
+        State {
+            positions: vec![Vec3::ZERO; n],
+            velocities: vec![Vec3::ZERO; n],
+            time_ps: 0.0,
+            step: 0,
+        }
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_finite(&self) -> bool {
+        self.positions.iter().all(|p| p.is_finite()) && self.velocities.iter().all(|v| v.is_finite())
+    }
+}
+
+/// A complete molecular system: immutable topology + box + mutable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct System {
+    pub topology: Topology,
+    pub pbc: PbcBox,
+    pub state: State,
+}
+
+impl System {
+    pub fn new(topology: Topology, pbc: PbcBox, state: State) -> Result<Self, String> {
+        topology.validate()?;
+        if topology.n_atoms() != state.n_atoms() {
+            return Err(format!(
+                "topology has {} atoms but state has {}",
+                topology.n_atoms(),
+                state.n_atoms()
+            ));
+        }
+        Ok(System { topology, pbc, state })
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.topology.n_atoms()
+    }
+
+    /// Kinetic energy in kcal/mol. Velocities are stored in Å per AKMA time
+    /// unit, so `1/2 m v²` is already in kcal/mol.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.topology
+            .atoms
+            .iter()
+            .zip(&self.state.velocities)
+            .map(|(a, v)| 0.5 * a.mass * v.norm_sq())
+            .sum()
+    }
+
+    /// Instantaneous temperature in K from the equipartition theorem.
+    pub fn instantaneous_temperature(&self) -> f64 {
+        let dof = self.topology.degrees_of_freedom() as f64;
+        2.0 * self.kinetic_energy() / (dof * crate::units::KB)
+    }
+
+    /// Draw velocities from the Maxwell-Boltzmann distribution at `t` K and
+    /// remove centre-of-mass drift.
+    pub fn assign_maxwell_boltzmann<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) {
+        for (atom, v) in self.topology.atoms.iter().zip(self.state.velocities.iter_mut()) {
+            let sigma = (kbt(t) / atom.mass).sqrt();
+            let normal = Normal::new(0.0, sigma).expect("sigma is finite and positive");
+            *v = Vec3::new(normal.sample(rng), normal.sample(rng), normal.sample(rng));
+        }
+        self.remove_com_motion();
+    }
+
+    /// Subtract the centre-of-mass velocity.
+    pub fn remove_com_motion(&mut self) {
+        let total_mass = self.topology.total_mass();
+        if total_mass <= 0.0 {
+            return;
+        }
+        let p: Vec3 = self
+            .topology
+            .atoms
+            .iter()
+            .zip(&self.state.velocities)
+            .map(|(a, v)| *v * a.mass)
+            .sum();
+        let v_com = p / total_mass;
+        for v in &mut self.state.velocities {
+            *v -= v_com;
+        }
+    }
+
+    /// Measure a dihedral angle over four atom indices, in radians wrapped to
+    /// `(-pi, pi]`. Uses the standard atan2 formulation, which is stable near
+    /// 0 and pi.
+    pub fn dihedral_angle(&self, atoms: [u32; 4]) -> f64 {
+        let p = &self.state.positions;
+        let (i, j, k, l) = (atoms[0] as usize, atoms[1] as usize, atoms[2] as usize, atoms[3] as usize);
+        let b1 = self.pbc.min_image(p[j], p[i]);
+        let b2 = self.pbc.min_image(p[k], p[j]);
+        let b3 = self.pbc.min_image(p[l], p[k]);
+        let n1 = b1.cross(b2);
+        let n2 = b2.cross(b3);
+        let m1 = n1.cross(b2.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0)));
+        let x = n1.dot(n2);
+        let y = m1.dot(n2);
+        wrap_angle(y.atan2(x))
+    }
+
+    /// Measure a named dihedral (e.g. "phi"), in radians.
+    pub fn named_dihedral_angle(&self, name: &str) -> Option<f64> {
+        self.topology.dihedral(name).map(|d| self.dihedral_angle(d.atoms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Atom, NamedDihedral};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn four_atom_system(positions: [Vec3; 4]) -> System {
+        let topology = Topology {
+            atoms: vec![Atom::lj(12.0, 0.1, 3.4); 4],
+            named_dihedrals: vec![NamedDihedral { name: "phi".into(), atoms: [0, 1, 2, 3] }],
+            ..Default::default()
+        };
+        let mut state = State::zeros(4);
+        state.positions = positions.to_vec();
+        System::new(topology, PbcBox::VACUUM, state).unwrap()
+    }
+
+    #[test]
+    fn min_image_wraps_across_boundary() {
+        let b = PbcBox::cubic(10.0);
+        let d = b.min_image(Vec3::new(9.5, 0.0, 0.0), Vec3::new(0.5, 0.0, 0.0));
+        assert!((d.x + 1.0).abs() < 1e-12, "expected -1.0, got {}", d.x);
+    }
+
+    #[test]
+    fn vacuum_min_image_is_plain_difference() {
+        let b = PbcBox::VACUUM;
+        let d = b.min_image(Vec3::new(100.0, 0.0, 0.0), Vec3::ZERO);
+        assert_eq!(d.x, 100.0);
+        assert!(b.volume().is_none());
+    }
+
+    #[test]
+    fn wrap_into_primary_cell() {
+        let b = PbcBox::cubic(10.0);
+        let p = b.wrap(Vec3::new(-0.5, 10.5, 25.0));
+        assert!((p.x - 9.5).abs() < 1e-12);
+        assert!((p.y - 0.5).abs() < 1e-12);
+        assert!((p.z - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trans_dihedral_is_pi() {
+        // Planar zig-zag: trans configuration -> |phi| = pi.
+        let sys = four_atom_system([
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+        ]);
+        let phi = sys.named_dihedral_angle("phi").unwrap();
+        assert!((phi.abs() - std::f64::consts::PI).abs() < 1e-9, "phi = {phi}");
+    }
+
+    #[test]
+    fn cis_dihedral_is_zero() {
+        let sys = four_atom_system([
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        ]);
+        let phi = sys.named_dihedral_angle("phi").unwrap();
+        assert!(phi.abs() < 1e-9, "phi = {phi}");
+    }
+
+    #[test]
+    fn perpendicular_dihedral_sign() {
+        let sys = four_atom_system([
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 1.0),
+        ]);
+        let phi = sys.named_dihedral_angle("phi").unwrap();
+        assert!((phi.abs() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxwell_boltzmann_temperature_is_close() {
+        let topology = Topology {
+            atoms: vec![Atom::lj(18.0, 0.15, 3.2); 2000],
+            ..Default::default()
+        };
+        let state = State::zeros(2000);
+        let mut sys = System::new(topology, PbcBox::cubic(50.0), state).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        sys.assign_maxwell_boltzmann(300.0, &mut rng);
+        let t = sys.instantaneous_temperature();
+        assert!((t - 300.0).abs() < 15.0, "T = {t}");
+    }
+
+    #[test]
+    fn com_motion_removed() {
+        let topology = Topology { atoms: vec![Atom::lj(10.0, 0.1, 3.0); 50], ..Default::default() };
+        let mut sys = System::new(topology, PbcBox::VACUUM, State::zeros(50)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        sys.assign_maxwell_boltzmann(500.0, &mut rng);
+        let p: Vec3 = sys
+            .topology
+            .atoms
+            .iter()
+            .zip(&sys.state.velocities)
+            .map(|(a, v)| *v * a.mass)
+            .sum();
+        assert!(p.norm() < 1e-9, "residual momentum {}", p.norm());
+    }
+
+    #[test]
+    fn new_rejects_mismatched_sizes() {
+        let topology = Topology { atoms: vec![Atom::lj(1.0, 0.1, 3.0); 3], ..Default::default() };
+        assert!(System::new(topology, PbcBox::VACUUM, State::zeros(2)).is_err());
+    }
+}

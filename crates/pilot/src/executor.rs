@@ -1,0 +1,86 @@
+//! The executor abstraction: where compute units actually run.
+//!
+//! Two implementations:
+//!
+//! * [`crate::sim::SimExecutor`] — tasks execute their payload immediately
+//!   (so results are real), but wall-clock durations are charged on a
+//!   virtual [`hpc::CoreTimeline`] from the calibrated performance model.
+//!   This is how the paper-scale experiments (up to 1 728 replicas on
+//!   thousands of cores) run on a laptop.
+//! * [`crate::local::LocalExecutor`] — tasks run on real threads and are
+//!   charged their measured wall time. Used for validation and examples.
+//!
+//! The executor is deliberately *synchronous*: callers drive it by calling
+//! [`Executor::next_completion`], which returns finished units in completion
+//! order. This is the natural shape for both a DES and a thread pool, and
+//! the framework's EMM builds both the synchronous barrier and the
+//! asynchronous criterion on top of it.
+
+use crate::description::UnitDescription;
+use hpc::SimTime;
+
+/// Unique unit handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u64);
+
+/// The work a unit performs. It runs exactly once; errors become unit
+/// failures (distinct from injected hardware faults but surfaced the same
+/// way, as the framework cannot tell them apart either).
+pub type TaskWork<R> = Box<dyn FnOnce() -> Result<R, String> + Send>;
+
+/// A finished unit.
+#[derive(Debug, Clone)]
+pub struct CompletedUnit<R> {
+    pub id: UnitId,
+    pub name: String,
+    pub cores: usize,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub outcome: Result<R, String>,
+}
+
+impl<R> CompletedUnit<R> {
+    /// Wall-clock duration the unit occupied its cores.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    pub fn is_failed(&self) -> bool {
+        self.outcome.is_err()
+    }
+}
+
+/// A place compute units run.
+pub trait Executor<R> {
+    /// Submit a unit; it will eventually appear in `next_completion`.
+    fn submit(&mut self, desc: UnitDescription, work: TaskWork<R>) -> Result<UnitId, String>;
+
+    /// Block (or advance virtual time) until the next unit finishes.
+    /// Returns `None` when no units are outstanding.
+    fn next_completion(&mut self) -> Option<CompletedUnit<R>>;
+
+    /// Current time (virtual or real-elapsed).
+    fn now(&self) -> SimTime;
+
+    /// Size of the core pool.
+    fn n_cores(&self) -> usize;
+
+    /// Charge serialized client-side time (framework overheads, data
+    /// staging) that is not attached to any unit. On the virtual cluster
+    /// this advances the clock and delays subsequent work; on the local
+    /// executor it is recorded but not slept.
+    fn charge_overhead(&mut self, seconds: f64);
+
+    /// Total overhead charged so far.
+    fn overhead_charged(&self) -> f64;
+}
+
+/// Drain every outstanding completion (the global barrier of the
+/// synchronous RE pattern). Returns completions in completion order.
+pub fn drain<R, E: Executor<R> + ?Sized>(exec: &mut E) -> Vec<CompletedUnit<R>> {
+    let mut out = Vec::new();
+    while let Some(c) = exec.next_completion() {
+        out.push(c);
+    }
+    out
+}

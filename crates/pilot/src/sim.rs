@@ -1,0 +1,264 @@
+//! Virtual-time executor backed by the DES cluster.
+
+use crate::description::{DurationSpec, UnitDescription};
+use crate::executor::{CompletedUnit, Executor, TaskWork, UnitId};
+use hpc::fault::FaultModel;
+use hpc::perfmodel::NoiseModel;
+use hpc::timeline::CoreTimeline;
+use hpc::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A completion waiting to be delivered, ordered by end time (then id for
+/// determinism).
+struct Pending<R> {
+    end: SimTime,
+    id: UnitId,
+    unit: CompletedUnit<R>,
+}
+
+/// Executes payloads eagerly but charges modeled durations on a virtual
+/// core timeline. Deterministic given the seed.
+pub struct SimExecutor<R> {
+    timeline: CoreTimeline,
+    now: SimTime,
+    pending: BinaryHeap<Reverse<(SimTime, u64)>>,
+    store: std::collections::HashMap<u64, Pending<R>>,
+    next_id: u64,
+    fault: FaultModel,
+    noise: NoiseModel,
+    rng: StdRng,
+    overhead: f64,
+}
+
+impl<R> SimExecutor<R> {
+    pub fn new(cores: usize, seed: u64) -> Self {
+        SimExecutor {
+            timeline: CoreTimeline::new(cores),
+            now: SimTime::ZERO,
+            pending: BinaryHeap::new(),
+            store: std::collections::HashMap::new(),
+            next_id: 0,
+            fault: FaultModel::NONE,
+            noise: NoiseModel::default(),
+            rng: StdRng::seed_from_u64(seed),
+            overhead: 0.0,
+        }
+    }
+
+    /// Enable failure injection.
+    pub fn with_faults(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Busy core-seconds scheduled so far (for utilization, Eq. 4).
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.timeline.busy_core_seconds()
+    }
+
+    /// Time when every core is idle.
+    pub fn all_idle_at(&self) -> SimTime {
+        self.timeline.all_idle_at()
+    }
+}
+
+impl<R> Executor<R> for SimExecutor<R> {
+    fn submit(&mut self, desc: UnitDescription, work: TaskWork<R>) -> Result<UnitId, String> {
+        desc.validate()?;
+        if desc.cores > self.timeline.n_cores() {
+            return Err(format!(
+                "unit {} needs {} cores but the pilot has {}",
+                desc.name,
+                desc.cores,
+                self.timeline.n_cores()
+            ));
+        }
+        // Run the payload now; the result becomes visible at completion time.
+        let result = work();
+        let modeled = match desc.duration {
+            DurationSpec::Modeled { seconds, sigma } => {
+                seconds * self.noise.factor(sigma, &mut self.rng)
+            }
+            DurationSpec::Measured => {
+                // Measure the (already-run) payload is impossible post hoc;
+                // treat Measured as zero-cost in virtual time. Framework code
+                // always supplies Modeled durations to the SimExecutor.
+                0.0
+            }
+        };
+        // Failure injection: the task dies partway through its slot.
+        let (duration, outcome) = match self.fault.sample_failure(modeled, &mut self.rng) {
+            Some(t_fail) => (t_fail, Err(format!("injected task failure after {t_fail:.1}s"))),
+            None => (modeled, result),
+        };
+        let slot = self.timeline.schedule(desc.cores, duration, self.now);
+        let id = UnitId(self.next_id);
+        self.next_id += 1;
+        self.pending.push(Reverse((slot.end, id.0)));
+        self.store.insert(
+            id.0,
+            Pending {
+                end: slot.end,
+                id,
+                unit: CompletedUnit {
+                    id,
+                    name: desc.name,
+                    cores: desc.cores,
+                    start: slot.start,
+                    end: slot.end,
+                    outcome,
+                },
+            },
+        );
+        Ok(id)
+    }
+
+    fn next_completion(&mut self) -> Option<CompletedUnit<R>> {
+        let Reverse((end, id)) = self.pending.pop()?;
+        let pending = self.store.remove(&id).expect("store and heap in sync");
+        debug_assert_eq!(pending.end, end);
+        debug_assert_eq!(pending.id.0, id);
+        self.now = self.now.max(end);
+        Some(pending.unit)
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn n_cores(&self) -> usize {
+        self.timeline.n_cores()
+    }
+
+    fn charge_overhead(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.overhead += seconds;
+        self.now += seconds;
+        // Client-side overhead serializes the pipeline: nothing new may
+        // start before it is done.
+        self.timeline.barrier(self.now);
+    }
+
+    fn overhead_charged(&self) -> f64 {
+        self.overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::drain;
+
+    fn unit(name: &str, cores: usize, secs: f64) -> UnitDescription {
+        UnitDescription::new(name, "sander", cores)
+            .with_duration(DurationSpec::Modeled { seconds: secs, sigma: 0.0 })
+    }
+
+    #[test]
+    fn completions_arrive_in_time_order() {
+        let mut ex: SimExecutor<u32> = SimExecutor::new(4, 1);
+        ex.submit(unit("slow", 1, 30.0), Box::new(|| Ok(1))).unwrap();
+        ex.submit(unit("fast", 1, 5.0), Box::new(|| Ok(2))).unwrap();
+        ex.submit(unit("mid", 1, 10.0), Box::new(|| Ok(3))).unwrap();
+        let done = drain(&mut ex);
+        let names: Vec<_> = done.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["fast", "mid", "slow"]);
+        assert_eq!(ex.now().as_secs(), 30.0);
+    }
+
+    #[test]
+    fn mode_ii_batching_on_scarce_cores() {
+        // 8 tasks of 10s on 2 cores -> makespan 40s.
+        let mut ex: SimExecutor<()> = SimExecutor::new(2, 1);
+        for i in 0..8 {
+            ex.submit(unit(&format!("t{i}"), 1, 10.0), Box::new(|| Ok(()))).unwrap();
+        }
+        let done = drain(&mut ex);
+        assert_eq!(done.len(), 8);
+        assert_eq!(ex.now().as_secs(), 40.0);
+    }
+
+    #[test]
+    fn payload_results_are_real() {
+        let mut ex: SimExecutor<u64> = SimExecutor::new(1, 1);
+        ex.submit(unit("sum", 1, 1.0), Box::new(|| Ok((0..=100u64).sum()))).unwrap();
+        let done = drain(&mut ex);
+        assert_eq!(done[0].outcome.as_ref().unwrap(), &5050);
+    }
+
+    #[test]
+    fn payload_error_is_failure() {
+        let mut ex: SimExecutor<()> = SimExecutor::new(1, 1);
+        ex.submit(unit("bad", 1, 1.0), Box::new(|| Err("parse error".into()))).unwrap();
+        let done = drain(&mut ex);
+        assert!(done[0].is_failed());
+    }
+
+    #[test]
+    fn oversized_unit_rejected() {
+        let mut ex: SimExecutor<()> = SimExecutor::new(2, 1);
+        assert!(ex.submit(unit("wide", 3, 1.0), Box::new(|| Ok(()))).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed_with_noise() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut ex: SimExecutor<()> = SimExecutor::new(4, seed);
+            for i in 0..6 {
+                let d = UnitDescription::new(format!("t{i}"), "sander", 1)
+                    .with_duration(DurationSpec::Modeled { seconds: 100.0, sigma: 0.05 });
+                ex.submit(d, Box::new(|| Ok(()))).unwrap();
+            }
+            drain(&mut ex).iter().map(|c| c.duration()).collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        // Noise actually perturbs durations.
+        let ds = run(7);
+        assert!(ds.iter().any(|d| (d - 100.0).abs() > 0.1));
+    }
+
+    #[test]
+    fn fault_injection_fails_some_tasks_early() {
+        let mut ex: SimExecutor<()> =
+            SimExecutor::new(64, 3).with_faults(FaultModel::new(500.0));
+        for i in 0..64 {
+            ex.submit(unit(&format!("t{i}"), 1, 1000.0), Box::new(|| Ok(()))).unwrap();
+        }
+        let done = drain(&mut ex);
+        let failed: Vec<_> = done.iter().filter(|c| c.is_failed()).collect();
+        assert!(!failed.is_empty(), "with MTBF 500s and 1000s tasks, some must fail");
+        assert!(failed.len() < 64, "not all should fail");
+        for f in &failed {
+            assert!(f.duration() < 1000.0, "failed tasks end early");
+        }
+    }
+
+    #[test]
+    fn overhead_serializes_subsequent_work() {
+        let mut ex: SimExecutor<()> = SimExecutor::new(2, 1);
+        ex.submit(unit("a", 1, 10.0), Box::new(|| Ok(()))).unwrap();
+        drain(&mut ex);
+        ex.charge_overhead(5.0);
+        assert_eq!(ex.now().as_secs(), 15.0);
+        ex.submit(unit("b", 1, 1.0), Box::new(|| Ok(()))).unwrap();
+        let done = drain(&mut ex);
+        assert_eq!(done[0].start.as_secs(), 15.0);
+        assert_eq!(ex.overhead_charged(), 5.0);
+    }
+
+    #[test]
+    fn multicore_units_occupy_multiple_cores() {
+        let mut ex: SimExecutor<()> = SimExecutor::new(4, 1);
+        ex.submit(unit("wide", 4, 10.0), Box::new(|| Ok(()))).unwrap();
+        ex.submit(unit("next", 1, 1.0), Box::new(|| Ok(()))).unwrap();
+        let done = drain(&mut ex);
+        // Second unit cannot start until the 4-core unit ends.
+        let next = done.iter().find(|c| c.name == "next").unwrap();
+        assert_eq!(next.start.as_secs(), 10.0);
+        assert!((ex.busy_core_seconds() - 41.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! The staging area: named byte blobs shared between tasks.
+//!
+//! The paper's RAM tasks communicate through files staged to a shared area
+//! on the parallel filesystem ("Amber's .mdinfo files to 'staging area'
+//! which is accessible by subsequent tasks"). Our staging area is an
+//! in-memory, thread-safe key-value store of rendered file contents — tasks
+//! genuinely serialize inputs/outputs through it using the mdsim text
+//! formats, and the virtual cluster charges `T_data` for the movement.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe staging area. Cheap to clone (shared).
+#[derive(Debug, Clone, Default)]
+pub struct StagingArea {
+    inner: Arc<RwLock<BTreeMap<String, Arc<Vec<u8>>>>>,
+}
+
+impl StagingArea {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a file, replacing any existing content.
+    pub fn put(&self, name: impl Into<String>, data: impl Into<Vec<u8>>) {
+        self.inner.write().insert(name.into(), Arc::new(data.into()));
+    }
+
+    /// Store UTF-8 text.
+    pub fn put_text(&self, name: impl Into<String>, text: impl Into<String>) {
+        self.put(name, text.into().into_bytes());
+    }
+
+    /// Fetch a file's bytes.
+    pub fn get(&self, name: &str) -> Option<Arc<Vec<u8>>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Fetch a file as UTF-8 text.
+    pub fn get_text(&self, name: &str) -> Option<String> {
+        self.get(name).map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// Fetch text or produce a descriptive error (for task payloads).
+    pub fn require_text(&self, name: &str) -> Result<String, String> {
+        self.get_text(name).ok_or_else(|| format!("staging area missing file {name:?}"))
+    }
+
+    pub fn delete(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// Names matching a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total stored bytes (used to charge filesystem transfer time).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.read().values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Size of one file in bytes.
+    pub fn size_of(&self, name: &str) -> Option<u64> {
+        self.inner.read().get(name).map(|v| v.len() as u64)
+    }
+
+    /// Drop everything (between cycles in tests).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = StagingArea::new();
+        s.put_text("replica_0.mdinfo", "NSTEP = 100");
+        assert_eq!(s.get_text("replica_0.mdinfo").unwrap(), "NSTEP = 100");
+        assert!(s.get("missing").is_none());
+        assert!(s.require_text("missing").is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = StagingArea::new();
+        let b = a.clone();
+        a.put_text("x", "1");
+        assert_eq!(b.get_text("x").unwrap(), "1");
+        b.delete("x");
+        assert!(!a.contains("x"));
+    }
+
+    #[test]
+    fn list_by_prefix_is_sorted() {
+        let s = StagingArea::new();
+        s.put_text("md/r2.out", "");
+        s.put_text("md/r1.out", "");
+        s.put_text("ex/r1.out", "");
+        assert_eq!(s.list("md/"), vec!["md/r1.out", "md/r2.out"]);
+        assert_eq!(s.list(""), vec!["ex/r1.out", "md/r1.out", "md/r2.out"]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let s = StagingArea::new();
+        s.put("a", vec![0u8; 100]);
+        s.put("b", vec![0u8; 50]);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.size_of("a"), Some(100));
+        s.put("a", vec![0u8; 10]); // replace
+        assert_eq!(s.total_bytes(), 60);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let s = StagingArea::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        s.put_text(format!("t{t}/f{i}"), format!("{t}:{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 800);
+        assert_eq!(s.get_text("t3/f42").unwrap(), "3:42");
+    }
+}

@@ -1,0 +1,50 @@
+//! Engine independence: the identical REMD configuration run through three
+//! AMMs — Amber, NAMD and GROMACS. The framework code is the same; only the
+//! `engine` field changes, and underneath the AMMs genuinely write different
+//! input-file formats (Amber `mdin`/DISANG vs NAMD config vs GROMACS
+//! `.mdp`).
+//!
+//! ```sh
+//! cargo run --release -p repex-examples --bin engine_swap
+//! ```
+
+use repex::config::{EngineChoice, SimulationConfig};
+use repex::simulation::RemdSimulation;
+
+fn main() {
+    println!("Same U-REMD simulation through three MD engines (local backend).\n");
+    for engine in [EngineChoice::Amber, EngineChoice::Namd, EngineChoice::Gromacs] {
+        let mut cfg = SimulationConfig::t_remd(6, 300, 3);
+        cfg.title = format!("U-REMD via {engine:?}");
+        cfg.dimensions = vec![repex::DimensionConfig::Umbrella {
+            dihedral: "phi".into(),
+            count: 6,
+            k_deg: 0.02,
+        }];
+        cfg.engine = engine;
+        cfg.resource.backend = "local".into();
+        cfg.resource.cluster = "small:8".into();
+        cfg.sample_stride = 50;
+        cfg.seed = 3;
+
+        let report = RemdSimulation::new(cfg).expect("valid config").run().expect("run");
+        println!("--- {engine:?} ---");
+        println!("{}", report.summary());
+        let (letter, acc) = &report.acceptance[0];
+        println!(
+            "  {} exchange acceptance: {:.0}% over {} attempts",
+            letter,
+            acc.ratio() * 100.0,
+            acc.attempts
+        );
+        println!(
+            "  windows sampled: {} (each staged its own engine-native input files)\n",
+            report.window_samples.len()
+        );
+    }
+    println!(
+        "Input preparation differed per engine (mdin + DISANG vs NAMD config vs\n\
+         GROMACS .mdp); the RE pattern, execution mode and exchange logic were\n\
+         reused unchanged — the paper's core design claim."
+    );
+}

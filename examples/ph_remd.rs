@@ -1,0 +1,53 @@
+//! pH-exchange REMD — the extension the paper proposes in Section 5
+//! ("a number of additional exchange parameters can be added … for example
+//! pH exchange"), implemented end to end.
+//!
+//! The dipeptide model carries two titratable sites whose effective charges
+//! follow the Henderson–Hasselbalch protonation fraction at the replica's
+//! solvent pH; pH exchange is a Hamiltonian exchange over those charges,
+//! with the `solvph` keyword flowing through the Amber-style input files.
+//!
+//! ```sh
+//! cargo run --release -p repex-examples --bin ph_remd
+//! ```
+
+use repex::config::{DimensionConfig, SimulationConfig};
+use repex::simulation::RemdSimulation;
+
+fn main() {
+    let mut cfg = SimulationConfig::t_remd(8, 600, 6);
+    cfg.title = "pH-REMD, 8 windows pH 3..10".into();
+    cfg.dimensions = vec![DimensionConfig::Ph { min_ph: 3.0, max_ph: 10.0, count: 8 }];
+    cfg.resource.backend = "local".into();
+    cfg.resource.cluster = "small:16".into();
+    cfg.seed = 5;
+
+    println!("Running {} (local backend, titratable dipeptide)...", cfg.title);
+    let report = RemdSimulation::new(cfg).expect("valid config").run().expect("run");
+
+    println!("\n{}", report.summary());
+    let (letter, acc) = &report.acceptance[0];
+    println!(
+        "pH-exchange dimension '{letter}': {}/{} accepted ({:.0}%)",
+        acc.accepted,
+        acc.attempts,
+        acc.ratio() * 100.0
+    );
+    println!("pH-ladder round trips: {}", report.round_trips);
+
+    // Show the physics: the same configuration has different energies at
+    // the ladder's two ends because the titratable sites (de)protonate.
+    use mdsim::engine::{MdEngine, SanderEngine};
+    use mdsim::models::{alanine_dipeptide, dipeptide_forcefield};
+    let engine = SanderEngine::new(dipeptide_forcefield().nonbonded);
+    let sys = alanine_dipeptide();
+    let acid = engine.single_point_with(&sys, 0.0, 3.0, &[]).total();
+    let basic = engine.single_point_with(&sys, 0.0, 10.0, &[]).total();
+    println!(
+        "\nSingle-point energy of one configuration: {acid:.3} kcal/mol at pH 3 vs \
+         {basic:.3} at pH 10\n(the titratable sites' effective charges shift with the \
+         Henderson-Hasselbalch fraction)"
+    );
+    assert!((acid - basic).abs() > 1e-6);
+    assert!(acc.attempts > 0);
+}

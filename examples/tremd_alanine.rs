@@ -1,0 +1,80 @@
+//! T-REMD sampling of the alanine-dipeptide torsional landscape with real
+//! dynamics, followed by a free-energy surface from the 300 K-ish window.
+//!
+//! This is the workload the paper's introduction motivates: enhanced
+//! sampling of a rugged (φ, ψ) landscape via temperature exchange. We run
+//! the same simulation twice — with and without exchanges — and compare how
+//! much of the torus the coldest window explores.
+//!
+//! ```sh
+//! cargo run --release -p repex-examples --bin tremd_alanine
+//! ```
+
+use analysis::fes::{render_ascii, unbiased_fes};
+use analysis::Histogram2D;
+use repex::config::SimulationConfig;
+use repex::simulation::RemdSimulation;
+
+fn coldest_window_samples(report: &repex::SimulationReport) -> Vec<(f64, f64)> {
+    report
+        .window_samples
+        .iter()
+        .min_by(|a, b| a.temperature.partial_cmp(&b.temperature).unwrap())
+        .map(|w| w.samples.clone())
+        .unwrap_or_default()
+}
+
+fn coverage(samples: &[(f64, f64)], bins: usize) -> f64 {
+    let mut h = Histogram2D::new(bins);
+    h.add_all(samples);
+    h.occupied_bins() as f64 / (bins * bins) as f64
+}
+
+fn run(no_exchange: bool) -> repex::SimulationReport {
+    let mut cfg = SimulationConfig::t_remd(12, 1500, 12);
+    cfg.title = if no_exchange { "MD only".into() } else { "T-REMD".into() };
+    cfg.dimensions = vec![repex::DimensionConfig::Temperature {
+        min_k: 280.0,
+        max_k: 600.0, // a wide ladder so the hot end hops barriers
+        count: 12,
+    }];
+    cfg.resource.backend = "local".into();
+    cfg.resource.cluster = "small:16".into();
+    cfg.sample_stride = 25;
+    cfg.no_exchange = no_exchange;
+    cfg.seed = 7;
+    RemdSimulation::new(cfg).expect("valid config").run().expect("run")
+}
+
+fn main() {
+    println!("Sampling alanine dipeptide: T-REMD vs plain MD (local backend, real dynamics)\n");
+    let remd = run(false);
+    let plain = run(true);
+
+    let bins = 12;
+    let remd_cold = coldest_window_samples(&remd);
+    let plain_cold = coldest_window_samples(&plain);
+    let c_remd = coverage(&remd_cold, bins);
+    let c_plain = coverage(&plain_cold, bins);
+
+    println!("{}", remd.summary());
+    println!("{}\n", plain.summary());
+    println!(
+        "Coldest-window torus coverage: T-REMD {:.0}% vs MD-only {:.0}% ({} vs {} samples)",
+        c_remd * 100.0,
+        c_plain * 100.0,
+        remd_cold.len(),
+        plain_cold.len()
+    );
+    println!(
+        "T-REMD acceptance: {:.0}%; round trips: {}",
+        remd.acceptance[0].1.ratio() * 100.0,
+        remd.round_trips
+    );
+
+    println!("\nF(phi, psi) at the coldest window from T-REMD samples (kcal/mol contours):");
+    let fes = unbiased_fes(&remd_cold, 280.0, bins);
+    print!("{}", render_ascii(&fes, &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0]));
+    let (lo, hi) = fes.finite_range();
+    println!("range: {:.1} .. {:.1} kcal/mol ('?' = never visited)", lo, hi);
+}

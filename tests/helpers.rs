@@ -1,0 +1,11 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use repex::config::SimulationConfig;
+
+/// A small, fast simulated-backend T-REMD configuration.
+pub fn quick_tremd(n: usize, cycles: u64) -> SimulationConfig {
+    let mut cfg = SimulationConfig::t_remd(n, 600, cycles);
+    cfg.surrogate_steps = 10;
+    cfg.sample_stride = 5;
+    cfg
+}

@@ -1,0 +1,75 @@
+//! Framework vs baseline comparisons: quantify the "performance price" of
+//! RepEx's flexibility against the tightly-integrated in-engine REMD.
+
+use baselines::integrated::{run_integrated_tremd, IntegratedConfig};
+use integration::quick_tremd;
+use repex::simulation::RemdSimulation;
+
+#[test]
+fn repex_pays_a_bounded_flexibility_premium() {
+    let n = 64;
+    // Integrated baseline: cores == replicas, exchange inside the engine.
+    let base_cfg =
+        IntegratedConfig { surrogate_steps: 10, ..IntegratedConfig::new(n, 6000, 3) };
+    let baseline = run_integrated_tremd(&base_cfg);
+
+    // RepEx, same workload, Mode I.
+    let mut cfg = quick_tremd(n, 3);
+    cfg.steps_per_cycle = 6000;
+    let repex_report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+
+    let tc_base = baseline.average_tc();
+    let tc_repex = repex_report.average_tc();
+    assert!(
+        tc_repex > tc_base,
+        "the framework cannot be cheaper than in-engine exchange: {tc_repex} vs {tc_base}"
+    );
+    // The paper's argument: the premium is acceptable. At 64 replicas the
+    // overheads are a few seconds on a ~140 s cycle.
+    let premium = (tc_repex - tc_base) / tc_base;
+    assert!(premium < 0.15, "premium {premium:.2} should be modest at 64 replicas");
+}
+
+#[test]
+fn premium_grows_with_replica_count_but_buys_flexibility() {
+    let premium_at = |n: usize| {
+        let base = run_integrated_tremd(&IntegratedConfig {
+            surrogate_steps: 5,
+            ..IntegratedConfig::new(n, 6000, 2)
+        })
+        .average_tc();
+        let mut cfg = quick_tremd(n, 2);
+        cfg.steps_per_cycle = 6000;
+        cfg.surrogate_steps = 5;
+        let repex_tc = RemdSimulation::new(cfg).unwrap().run().unwrap().average_tc();
+        (repex_tc - base) / base
+    };
+    let p64 = premium_at(64);
+    let p512 = premium_at(512);
+    assert!(p512 > p64, "linear overheads grow the premium: {p64:.3} -> {p512:.3}");
+    // But the baseline cannot do Mode II at all; RepEx can (a capability
+    // check, not a timing one).
+    let mut cfg = quick_tremd(512, 1);
+    cfg.resource.cores = Some(64);
+    let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert_eq!(report.execution_mode, 2, "512 replicas on 64 cores");
+}
+
+#[test]
+fn both_implementations_agree_on_exchange_physics() {
+    // Acceptance ratios for the same ladder and workload should be in the
+    // same ballpark between the integrated baseline and the framework
+    // (they share the Metropolis criterion and the microphysics).
+    let n = 16;
+    let baseline = run_integrated_tremd(&IntegratedConfig {
+        surrogate_steps: 30,
+        ..IntegratedConfig::new(n, 600, 10)
+    });
+    let mut cfg = quick_tremd(n, 10);
+    cfg.steps_per_cycle = 600;
+    cfg.surrogate_steps = 30;
+    let repex_report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    let a = baseline.acceptance.ratio();
+    let b = repex_report.acceptance[0].1.ratio();
+    assert!((a - b).abs() < 0.25, "integrated {a:.2} vs repex {b:.2}");
+}

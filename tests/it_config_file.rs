@@ -1,0 +1,111 @@
+//! Configuration-file driven runs: the paper's usability requirement is
+//! that a REMD simulation is fully specified by a configuration file. These
+//! tests go JSON text → simulation → report.
+
+use repex::config::SimulationConfig;
+use repex::simulation::RemdSimulation;
+
+#[test]
+fn json_config_runs_a_tsu_simulation() {
+    let text = r#"{
+        "title": "TSU from a config file",
+        "engine": "amber",
+        "pattern": "synchronous",
+        "dimensions": [
+            {"type": "temperature", "min-k": 273.0, "max-k": 373.0, "count": 3},
+            {"type": "salt", "min-molar": 0.0, "max-molar": 0.5, "count": 2},
+            {"type": "umbrella", "dihedral": "phi", "count": 2, "k-deg": 0.02}
+        ],
+        "steps-per-cycle": 600,
+        "n-cycles": 2,
+        "surrogate-steps": 8,
+        "workload": "dipeptide-vacuum",
+        "cost-atoms": 2881,
+        "resource": {
+            "cluster": "supermic",
+            "cores": null,
+            "cores-per-replica": 1,
+            "backend": "simulated"
+        }
+    }"#;
+    let cfg = SimulationConfig::from_json(text).unwrap();
+    assert_eq!(cfg.n_replicas().unwrap(), 12);
+    let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert_eq!(report.cycles.len(), 2);
+    assert_eq!(report.acceptance.len(), 3);
+    let letters: String = report.acceptance.iter().map(|(l, _)| *l).collect();
+    assert_eq!(letters, "TSU");
+}
+
+#[test]
+fn async_pattern_from_json() {
+    let text = r#"{
+        "title": "async from file",
+        "engine": "amber",
+        "pattern": {"asynchronous": {"tick-fraction": 0.25}},
+        "dimensions": [
+            {"type": "temperature", "min-k": 273.0, "max-k": 373.0, "count": 8}
+        ],
+        "steps-per-cycle": 600,
+        "n-cycles": 3,
+        "surrogate-steps": 8
+    }"#;
+    let cfg = SimulationConfig::from_json(text).unwrap();
+    let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert_eq!(report.pattern, "async");
+    assert!(report.makespan > 0.0);
+}
+
+#[test]
+fn fault_policy_and_pairing_from_json() {
+    let text = r#"{
+        "title": "options",
+        "engine": "namd",
+        "pattern": "synchronous",
+        "dimensions": [
+            {"type": "temperature", "min-k": 280.0, "max-k": 350.0, "count": 4}
+        ],
+        "steps-per-cycle": 400,
+        "n-cycles": 1,
+        "surrogate-steps": 5,
+        "fault-policy": {"relaunch": {"max-retries": 3}},
+        "pairing": "random",
+        "seed": 99
+    }"#;
+    let cfg = SimulationConfig::from_json(text).unwrap();
+    assert_eq!(cfg.fault_policy, repex::FaultPolicy::Relaunch { max_retries: 3 });
+    assert_eq!(cfg.pairing, exchange::pairing::PairingStrategy::Random);
+    assert_eq!(cfg.engine, repex::EngineChoice::Namd);
+    let report = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert_eq!(report.cycles.len(), 1);
+}
+
+#[test]
+fn bad_configs_are_rejected_with_messages() {
+    // Unknown cluster.
+    let mut cfg = SimulationConfig::t_remd(4, 100, 1);
+    cfg.resource.cluster = "summit".into();
+    let err = RemdSimulation::new(cfg).err().unwrap();
+    assert!(err.contains("unknown cluster"), "{err}");
+
+    // Mode I too big for the machine, with the suggestion to use Mode II.
+    let mut cfg = SimulationConfig::t_remd(10_000, 100, 1);
+    cfg.resource.cluster = "small:128".into();
+    let err = RemdSimulation::new(cfg).err().unwrap();
+    assert!(err.contains("Execution Mode"), "{err}");
+
+    // Malformed JSON.
+    assert!(SimulationConfig::from_json("{ not json").is_err());
+}
+
+#[test]
+fn roundtrip_preserves_everything() {
+    let mut cfg = SimulationConfig::t_remd(8, 600, 2);
+    cfg.pattern = repex::Pattern::Asynchronous { tick_fraction: 0.3 };
+    cfg.sample_stride = 7;
+    cfg.sample_warmup = 3;
+    cfg.production_after_cycle = 1;
+    cfg.no_exchange = true;
+    let back = SimulationConfig::from_json(&cfg.to_json()).unwrap();
+    assert_eq!(back, cfg);
+}

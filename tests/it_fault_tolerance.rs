@@ -1,0 +1,66 @@
+//! Fault tolerance across the stack: injected task failures must never
+//! abort a simulation under either recovery policy.
+
+use hpc::fault::FaultModel;
+use integration::quick_tremd;
+use repex::config::{FaultPolicy, Pattern};
+use repex::simulation::RemdSimulation;
+
+fn run_with_faults(policy: FaultPolicy, pattern: Pattern, mtbf: f64) -> repex::SimulationReport {
+    let mut cfg = quick_tremd(24, 3);
+    cfg.pattern = pattern;
+    cfg.fault_policy = policy;
+    RemdSimulation::new(cfg)
+        .unwrap()
+        .with_faults(FaultModel::new(mtbf))
+        .unwrap()
+        .run()
+        .expect("fault tolerance: the simulation survives")
+}
+
+#[test]
+fn continue_policy_survives_heavy_failures_sync() {
+    let report = run_with_faults(FaultPolicy::Continue, Pattern::Synchronous, 60.0);
+    assert!(report.failed_tasks > 0, "MTBF 60s vs ~14s tasks should fail some");
+    assert_eq!(report.relaunched_tasks, 0);
+    assert_eq!(report.cycles.len(), 3, "all cycles completed");
+}
+
+#[test]
+fn relaunch_policy_retries_and_completes_sync() {
+    let report =
+        run_with_faults(FaultPolicy::Relaunch { max_retries: 20 }, Pattern::Synchronous, 60.0);
+    assert!(report.failed_tasks > 0);
+    assert!(report.relaunched_tasks > 0);
+    assert_eq!(report.cycles.len(), 3);
+}
+
+#[test]
+fn async_pattern_survives_failures() {
+    let report = run_with_faults(
+        FaultPolicy::Continue,
+        Pattern::Asynchronous { tick_fraction: 0.25 },
+        60.0,
+    );
+    assert!(report.failed_tasks > 0);
+    assert!(report.makespan > 0.0);
+}
+
+#[test]
+fn relaunch_costs_wall_time_relative_to_continue() {
+    let cont = run_with_faults(FaultPolicy::Continue, Pattern::Synchronous, 40.0);
+    let relaunch =
+        run_with_faults(FaultPolicy::Relaunch { max_retries: 30 }, Pattern::Synchronous, 40.0);
+    assert!(
+        relaunch.makespan > cont.makespan,
+        "retries stretch the MD phases: {} vs {}",
+        relaunch.makespan,
+        cont.makespan
+    );
+}
+
+#[test]
+fn failure_free_run_with_fault_model_disabled() {
+    let report = run_with_faults(FaultPolicy::Continue, Pattern::Synchronous, f64::INFINITY);
+    assert_eq!(report.failed_tasks, 0);
+}
