@@ -11,16 +11,8 @@ pub fn histogram_overlap(a: &[f64], b: &[f64], bins: usize) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let lo = a
-        .iter()
-        .chain(b)
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).cloned().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).cloned().fold(f64::NEG_INFINITY, f64::max);
     if !(hi > lo) {
         return 1.0; // all samples identical
     }
@@ -39,10 +31,7 @@ pub fn histogram_overlap(a: &[f64], b: &[f64], bins: usize) -> f64 {
 
 /// Per-pair overlap along a ladder of energy sample sets.
 pub fn ladder_overlaps(energy_samples: &[Vec<f64>], bins: usize) -> Vec<f64> {
-    energy_samples
-        .windows(2)
-        .map(|w| histogram_overlap(&w[0], &w[1], bins))
-        .collect()
+    energy_samples.windows(2).map(|w| histogram_overlap(&w[0], &w[1], bins)).collect()
 }
 
 #[cfg(test)]

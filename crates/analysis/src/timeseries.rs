@@ -119,10 +119,7 @@ pub fn round_trip_times(rungs: &[usize], ladder_len: usize) -> Option<RoundTripS
     if half_trip_marks.len() < 3 {
         return None;
     }
-    let times: Vec<u64> = half_trip_marks
-        .windows(3)
-        .map(|w| (w[2] - w[0]) as u64)
-        .collect();
+    let times: Vec<u64> = half_trip_marks.windows(3).map(|w| (w[2] - w[0]) as u64).collect();
     Some(RoundTripSummary {
         count: times.len(),
         mean_cycles: times.iter().map(|&t| t as f64).sum::<f64>() / times.len() as f64,

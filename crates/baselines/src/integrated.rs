@@ -114,12 +114,9 @@ pub fn run_integrated_tremd(cfg: &IntegratedConfig) -> IntegratedReport {
             max_md = max_md.max(md_model * perf.noise.factor(perf.noise.md_sigma, &mut rng));
         }
         // In-engine collective exchange: no staging, no task launch.
-        for (a, b) in select_pairs(
-            PairingStrategy::NeighborAlternating,
-            cfg.n_replicas,
-            cycle,
-            &mut rng,
-        ) {
+        for (a, b) in
+            select_pairs(PairingStrategy::NeighborAlternating, cfg.n_replicas, cycle, &mut rng)
+        {
             let delta = temperature_delta(temps[a], energies[a], temps[b], energies[b]);
             let accepted = metropolis_accept(delta, &mut rng);
             acceptance.record(accepted);
@@ -163,10 +160,7 @@ mod tests {
         let integrated = integrated_exchange_seconds(n);
         let repex =
             PerfModel::default().exchange.exchange_seconds(hpc::ExchangeKind::Temperature, n);
-        assert!(
-            integrated < repex / 20.0,
-            "integrated {integrated} vs repex {repex}"
-        );
+        assert!(integrated < repex / 20.0, "integrated {integrated} vs repex {repex}");
     }
 
     #[test]
@@ -174,8 +168,7 @@ mod tests {
         // Weak scaling of the integrated baseline: cores == replicas, so Tc
         // grows only through the max-straggler and the tiny collective.
         let tc = |n| {
-            let cfg =
-                IntegratedConfig { surrogate_steps: 5, ..IntegratedConfig::new(n, 600, 2) };
+            let cfg = IntegratedConfig { surrogate_steps: 5, ..IntegratedConfig::new(n, 600, 2) };
             run_integrated_tremd(&cfg).average_tc()
         };
         let t8 = tc(8);

@@ -39,9 +39,10 @@ fn bench_neighbor_search(c: &mut Criterion) {
             b.iter(|| {
                 let mut hits = 0usize;
                 for (i, j) in all_pairs(n) {
-                    let d = sys
-                        .pbc
-                        .min_image(sys.state.positions[i as usize], sys.state.positions[j as usize]);
+                    let d = sys.pbc.min_image(
+                        sys.state.positions[i as usize],
+                        sys.state.positions[j as usize],
+                    );
                     if d.norm_sq() < 81.0 {
                         hits += 1;
                     }

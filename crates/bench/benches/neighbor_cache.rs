@@ -1,0 +1,39 @@
+//! Verlet neighbor-cache microbenchmarks: per-step force evaluation with a
+//! persistent skin cache vs. the seed behavior of rebuilding the pair list
+//! from scratch on every evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::models::{dipeptide_forcefield, solvated_alanine_dipeptide};
+use mdsim::{EvalContext, Vec3};
+use std::hint::black_box;
+
+fn bench_neighbor_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_cache");
+    group.sample_size(10);
+    for &atoms in &[400usize, 2000, 8000] {
+        let sys = solvated_alanine_dipeptide(atoms, 7);
+        let ff = dipeptide_forcefield();
+        let mut forces = vec![Vec3::ZERO; atoms];
+
+        // Seed behavior: a throwaway context per call rebuilds the cell list
+        // and candidate pairs every evaluation (skin 0 = no extra pairs).
+        group.bench_with_input(BenchmarkId::new("rebuild_every_step", atoms), &atoms, |b, _| {
+            b.iter(|| {
+                let mut ctx = EvalContext::with_skin(0.0);
+                black_box(ff.energy_forces_ctx(&sys, &mut ctx, &mut forces))
+            })
+        });
+
+        // Cached: one persistent context; after the warm-up call every
+        // evaluation reuses the stored pair list (steady-state reuse).
+        let mut ctx = EvalContext::new();
+        ff.energy_forces_ctx(&sys, &mut ctx, &mut forces);
+        group.bench_with_input(BenchmarkId::new("skin_cached", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(ff.energy_forces_ctx(&sys, &mut ctx, &mut forces)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor_cache);
+criterion_main!(benches);

@@ -27,7 +27,8 @@ fn run(label: &str, cores_per_replica: usize, gpu: bool) -> (String, f64, f64) {
 
 fn main() {
     let mut out = String::new();
-    let _ = writeln!(out, "Extension — GPU replicas (T-REMD, 64 replicas, 64366 atoms, 20000 steps)");
+    let _ =
+        writeln!(out, "Extension — GPU replicas (T-REMD, 64 replicas, 64366 atoms, 20000 steps)");
     let _ = writeln!(out, "Same configuration; only the executable/resource binding changes.\n");
 
     let rows = vec![
@@ -49,7 +50,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("one GPU outruns 16 CPU cores for this system ({:.0}s vs {:.0}s)", gpu_md, mpi_md),
+            &format!(
+                "one GPU outruns 16 CPU cores for this system ({:.0}s vs {:.0}s)",
+                gpu_md, mpi_md
+            ),
             gpu_md < mpi_md
         )
     );

@@ -78,8 +78,10 @@ fn main() {
     let _ = writeln!(
         out,
         "{}",
-        check("endpoints preserved across rounds", (temps[0] - 260.0).abs() < 1e-6
-            && (temps[temps.len() - 1] - 1200.0).abs() < 1e-6)
+        check(
+            "endpoints preserved across rounds",
+            (temps[0] - 260.0).abs() < 1e-6 && (temps[temps.len() - 1] - 1200.0).abs() < 1e-6
+        )
     );
 
     emit("ablate_ladder_opt", &out);

@@ -64,10 +64,7 @@ fn main() {
     let _ = writeln!(
         out,
         "{}",
-        check(
-            &format!("the premium stays modest (<15%): {:.1}%", premium),
-            premium < 15.0
-        )
+        check(&format!("the premium stays modest (<15%): {:.1}%", premium), premium < 15.0)
     );
     let _ = writeln!(
         out,

@@ -68,7 +68,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("both strategies traverse the ladder ({} and {} round trips)", results[0].2, results[1].2),
+            &format!(
+                "both strategies traverse the ladder ({} and {} round trips)",
+                results[0].2, results[1].2
+            ),
             results[0].2 > 0 && results[1].2 > 0
         )
     );

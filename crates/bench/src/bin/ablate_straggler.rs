@@ -32,7 +32,8 @@ fn main() {
     let n = 128;
     let sigmas = [0.0, 0.01, 0.03, 0.08, 0.15, 0.30];
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation — utilization vs straggler noise (T-REMD, {n} replicas, Mode I)");
+    let _ =
+        writeln!(out, "Ablation — utilization vs straggler noise (T-REMD, {n} replicas, Mode I)");
     let _ = writeln!(out, "Lognormal sigma on MD task durations; sync barrier vs async ticks.\n");
 
     let mut table = TextTable::new(vec!["sigma", "Sync util (%)", "Async util (%)"]);

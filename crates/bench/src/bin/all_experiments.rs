@@ -19,8 +19,13 @@ const EXPERIMENTS: [&str; 12] = [
     "ablate_straggler",
 ];
 
-const EXTRA: [&str; 5] =
-    ["ablate_batch_fraction", "ablate_pairing", "ablate_gpu", "ablate_multicluster", "ablate_ladder_opt"];
+const EXTRA: [&str; 5] = [
+    "ablate_batch_fraction",
+    "ablate_pairing",
+    "ablate_gpu",
+    "ablate_multicluster",
+    "ablate_ladder_opt",
+];
 
 fn main() {
     let self_path = std::env::current_exe().expect("current exe");
@@ -38,7 +43,9 @@ fn main() {
                 failures.push(*name);
             }
             Err(e) => {
-                eprintln!("{name}: failed to launch ({e}); build with `cargo build --release -p bench`");
+                eprintln!(
+                    "{name}: failed to launch ({e}); build with `cargo build --release -p bench`"
+                );
                 failures.push(*name);
             }
         }

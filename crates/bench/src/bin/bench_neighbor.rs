@@ -1,0 +1,119 @@
+//! Neighbor-cache performance record.
+//!
+//! Measures steps/sec of short serial Langevin runs with the persistent
+//! Verlet cache ("after") against the same run with the evaluation context
+//! invalidated before every step, which restores the seed's
+//! rebuild-every-step behavior ("before"). Also verifies, via the global
+//! cell-list build counter, that a batched S-exchange single-point
+//! evaluation builds the pair list once for the whole batch.
+//!
+//! Writes the machine-readable record to `BENCH_neighbor.json` at the repo
+//! root and the human-readable summary to `results/bench_neighbor.txt`.
+
+use bench::output::{check, emit, results_dir};
+use mdsim::engine::{MdEngine, SanderEngine, SinglePointRequest};
+use mdsim::integrator::{EvalMode, Integrator, LangevinBaoab};
+use mdsim::models::{dipeptide_forcefield, solvated_alanine_dipeptide};
+use mdsim::neighbor::cell_list_builds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn steps_per_sec(atoms: usize, steps: u64, rebuild_every_step: bool) -> f64 {
+    let mut sys = solvated_alanine_dipeptide(atoms, 11);
+    let ff = dipeptide_forcefield();
+    let mut rng = StdRng::seed_from_u64(17);
+    sys.assign_maxwell_boltzmann(300.0, &mut rng);
+    let mut integ = LangevinBaoab::new(0.001, 300.0, 2.0);
+    // Warm up (first build, buffer allocation) outside the timed window.
+    integ.step(&mut sys, &ff, EvalMode::Serial, &mut rng);
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        if rebuild_every_step {
+            integ.invalidate();
+        }
+        integ.step(&mut sys, &ff, EvalMode::Serial, &mut rng);
+    }
+    steps as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut out = String::new();
+    let _ = writeln!(out, "Neighbor cache — steps/sec, rebuild-every-step vs skin-cached\n");
+
+    let mut rows = Vec::new();
+    let mut speedup_8000 = 0.0;
+    for &(atoms, steps) in &[(400usize, 400u64), (2000, 120), (8000, 40)] {
+        let before = steps_per_sec(atoms, steps, true);
+        let after = steps_per_sec(atoms, steps, false);
+        let speedup = after / before;
+        if atoms == 8000 {
+            speedup_8000 = speedup;
+        }
+        let _ = writeln!(
+            out,
+            "N={atoms:5}  before {before:9.1} steps/s  after {after:9.1} steps/s  x{speedup:.2}"
+        );
+        rows.push(json!({
+            "atoms": atoms,
+            "steps": steps,
+            "steps_per_sec_before": before,
+            "steps_per_sec_after": after,
+            "speedup": speedup,
+        }));
+    }
+
+    // S-exchange shape: four single-points on the same coordinates through
+    // the engine batch API must build the cell list exactly once.
+    let sys = solvated_alanine_dipeptide(2000, 5);
+    let engine = SanderEngine::new(dipeptide_forcefield().nonbonded);
+    let requests = [
+        SinglePointRequest::new(0.0, 7.0, &[]),
+        SinglePointRequest::new(0.15, 7.0, &[]),
+        SinglePointRequest::new(0.5, 7.0, &[]),
+        SinglePointRequest::new(2.0, 7.0, &[]),
+    ];
+    let builds_before = cell_list_builds();
+    let _ = engine.single_points_with(&sys, &requests);
+    let batch_builds = cell_list_builds() - builds_before;
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("N=8000 per-step speedup >= 2x (got x{speedup_8000:.2})"),
+            speedup_8000 >= 2.0
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("S-exchange batch of 4 builds the cell list once (got {batch_builds})"),
+            batch_builds == 1
+        )
+    );
+
+    let payload = json!({
+        "bench": "neighbor_cache",
+        "unit": "steps_per_sec",
+        "status": "measured",
+        "sizes": rows,
+        "s_exchange_batch": { "requests": 4, "cell_list_builds": batch_builds },
+    });
+    let root = {
+        let mut p = results_dir();
+        p.pop();
+        p
+    };
+    let path = root.join("BENCH_neighbor.json");
+    match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serialize")) {
+        Ok(()) => eprintln!("[written: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    emit("bench_neighbor", &out);
+}

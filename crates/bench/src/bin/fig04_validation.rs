@@ -99,10 +99,8 @@ fn main() {
                     .iter()
                     .copied()
                     .filter(|&(phi_r, psi_r)| {
-                        let dphi =
-                            mdsim::units::angle_diff_deg(phi_r.to_degrees(), phi.1);
-                        let dpsi =
-                            mdsim::units::angle_diff_deg(psi_r.to_degrees(), psi.1);
+                        let dphi = mdsim::units::angle_diff_deg(phi_r.to_degrees(), phi.1);
+                        let dpsi = mdsim::units::angle_diff_deg(psi_r.to_degrees(), psi.1);
                         phi.2 * (dphi * dphi + dpsi * dpsi) < 8.0
                     })
                     .collect();

@@ -77,7 +77,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("data times ordered T < U < S at every count (S max {:.1}s; paper: 6.3s)", s_data[last]),
+            &format!(
+                "data times ordered T < U < S at every count (S max {:.1}s; paper: 6.3s)",
+                s_data[last]
+            ),
             (0..=last).all(|i| t_data[i] < u_data[i] && u_data[i] < s_data[i])
                 && (s_data[last] - 6.3).abs() < 1.0
         )

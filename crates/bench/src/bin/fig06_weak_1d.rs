@@ -59,7 +59,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("MD time nearly identical across types/counts (mean {:.1}s; paper: 139.6s)", md_mean),
+            &format!(
+                "MD time nearly identical across types/counts (mean {:.1}s; paper: 139.6s)",
+                md_mean
+            ),
             md_flat && (md_mean - 139.6).abs() < 0.12 * 139.6
         )
     );
@@ -84,7 +87,8 @@ fn main() {
             s_dominates
         )
     );
-    let tu_similar = (0..REPLICA_SWEEP.len()).all(|i| (ex[0][i] - ex[2][i]).abs() < 0.5 * ex[2][i].max(1.0));
+    let tu_similar =
+        (0..REPLICA_SWEEP.len()).all(|i| (ex[0][i] - ex[2][i]).abs() < 0.5 * ex[2][i].max(1.0));
     let _ = writeln!(out, "{}", check("T and U exchange timings similar", tu_similar));
 
     emit("fig06_weak_1d", &out);

@@ -17,8 +17,12 @@ const SWEEP: [usize; 6] = [64, 216, 512, 1000, 1728, 2744];
 fn main() {
     let cycles = 3;
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 7 — Parallel efficiency (% of linear scaling), 1-D REMD, SuperMIC");
-    let _ = writeln!(out, "Weak scaling, Eq. 2: Ew = T(64)/T(N) x 100; base = 64 replicas on 64 cores.\n");
+    let _ =
+        writeln!(out, "Figure 7 — Parallel efficiency (% of linear scaling), 1-D REMD, SuperMIC");
+    let _ = writeln!(
+        out,
+        "Weak scaling, Eq. 2: Ew = T(64)/T(N) x 100; base = 64 replicas on 64 cores.\n"
+    );
 
     let kinds: [(&str, Option<OneDKind>); 4] = [
         ("T-REMD", Some(OneDKind::Temperature)),
@@ -59,7 +63,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("efficiency decreases with core count for all exchange types (T: {:.1}% at 2744)", eff[0][last]),
+            &format!(
+                "efficiency decreases with core count for all exchange types (T: {:.1}% at 2744)",
+                eff[0][last]
+            ),
             (0..3).all(|k| eff[k][last] < eff[k][0])
         )
     );

@@ -56,7 +56,11 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("exchange remains a small fraction of MD (max {:.1}s vs {:.1}s)", ex.last().unwrap(), md_mean),
+            &format!(
+                "exchange remains a small fraction of MD (max {:.1}s vs {:.1}s)",
+                ex.last().unwrap(),
+                md_mean
+            ),
             ex.iter().all(|e| *e < 0.25 * md_mean)
         )
     );

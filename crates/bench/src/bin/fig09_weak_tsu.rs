@@ -16,8 +16,13 @@ fn main() {
     let _ = writeln!(out, "Figure 9 — TSU-REMD weak scaling (Stampede, Amber, Mode I)");
     let _ = writeln!(out, "Average of {cycles} cycles; one MD phase per dimension per cycle.\n");
 
-    let mut table =
-        TextTable::new(vec!["Cores,Replicas", "MD (s)", "T exch D1 (s)", "S exch D2 (s)", "U exch D3 (s)"]);
+    let mut table = TextTable::new(vec![
+        "Cores,Replicas",
+        "MD (s)",
+        "T exch D1 (s)",
+        "S exch D2 (s)",
+        "U exch D3 (s)",
+    ]);
     let mut md = Vec::new();
     let mut t_ex = Vec::new();
     let mut s_ex = Vec::new();
@@ -45,7 +50,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("MD times nearly identical (mean {:.1}s; paper ≈495s across 3 dimensions)", md_mean),
+            &format!(
+                "MD times nearly identical (mean {:.1}s; paper ≈495s across 3 dimensions)",
+                md_mean
+            ),
             md.iter().all(|m| (m - md_mean).abs() < 0.08 * md_mean)
                 && (md_mean - 495.0).abs() < 0.12 * 495.0
         )
@@ -62,7 +70,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("T and U exchange similar, S much larger (S {:.1}s vs T {:.1}s at 1728)", s_ex[4], t_ex[4]),
+            &format!(
+                "T and U exchange similar, S much larger (S {:.1}s vs T {:.1}s at 1728)",
+                s_ex[4], t_ex[4]
+            ),
             (0..5).all(|i| s_ex[i] > 2.0 * t_ex[i].max(u_ex[i]))
                 && (t_ex[4] - u_ex[4]).abs() < 0.5 * t_ex[4]
         )

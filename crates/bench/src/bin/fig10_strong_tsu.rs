@@ -80,7 +80,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("S exchange ≈1800s at 112 cores, falling with cores ({:.0}s → {:.0}s)", s_ex[0], s_ex[4]),
+            &format!(
+                "S exchange ≈1800s at 112 cores, falling with cores ({:.0}s → {:.0}s)",
+                s_ex[0], s_ex[4]
+            ),
             (s_ex[0] - 1800.0).abs() < 0.25 * 1800.0 && s_ex[4] < 0.4 * s_ex[0]
         )
     );

@@ -57,7 +57,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("weak efficiency stays above 50% (min {:.1}%)", weak.iter().cloned().fold(f64::MAX, f64::min)),
+            &format!(
+                "weak efficiency stays above 50% (min {:.1}%)",
+                weak.iter().cloned().fold(f64::MAX, f64::min)
+            ),
             weak.iter().all(|e| *e > 50.0)
         )
     );

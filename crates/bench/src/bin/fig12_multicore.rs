@@ -19,8 +19,13 @@ fn main() {
     let _ = writeln!(out, "Figure 12 — Multi-core replicas (TUU-REMD, 216 replicas, 64366 atoms)");
     let _ = writeln!(out, "Stampede, 20000 steps/cycle, Mode I; executable switches with cores.\n");
 
-    let mut table =
-        TextTable::new(vec!["Cores, Replicas", "Cores/replica", "Executable", "MD (s)", "MD/10 (s)"]);
+    let mut table = TextTable::new(vec![
+        "Cores, Replicas",
+        "Cores/replica",
+        "Executable",
+        "MD (s)",
+        "MD/10 (s)",
+    ]);
     let mut md = Vec::new();
     for &cpr in &CORES_PER_REPLICA {
         let avg = run(tuu_multicore_config(cpr, cycles)).average_timing();
@@ -51,7 +56,10 @@ fn main() {
         out,
         "{}",
         check(
-            &format!("substantial drop using multiple cores per replica ({:.0}s → {:.0}s at 16)", md[0], md[1]),
+            &format!(
+                "substantial drop using multiple cores per replica ({:.0}s → {:.0}s at 16)",
+                md[0], md[1]
+            ),
             md[1] < md[0] / 8.0
         )
     );
@@ -69,7 +77,8 @@ fn main() {
         )
     );
     let monotone = md.windows(2).all(|w| w[1] < w[0]);
-    let _ = writeln!(out, "{}", check("MD time monotonically decreasing in cores/replica", monotone));
+    let _ =
+        writeln!(out, "{}", check("MD time monotonically decreasing in cores/replica", monotone));
 
     emit("fig12_multicore", &out);
 }

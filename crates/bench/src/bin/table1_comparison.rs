@@ -41,7 +41,11 @@ fn main() {
         "{}",
         check(
             "Charm++/NAMD MCA has the widest core scaling but no async pattern",
-            table1().iter().find(|p| p.name == "Charm++/NAMD MCA").map(|p| !p.async_pattern).unwrap_or(false)
+            table1()
+                .iter()
+                .find(|p| p.name == "Charm++/NAMD MCA")
+                .map(|p| !p.async_pattern)
+                .unwrap_or(false)
         )
     );
 

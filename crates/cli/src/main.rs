@@ -85,8 +85,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     println!("{}", report.summary());
     if !report.cycles.is_empty() {
-        let mut table =
-            TextTable::new(vec!["Cycle", "MD (s)", "EX (s)", "Data (s)", "RepEx (s)", "RP (s)", "Tc (s)"]);
+        let mut table = TextTable::new(vec![
+            "Cycle",
+            "MD (s)",
+            "EX (s)",
+            "Data (s)",
+            "RepEx (s)",
+            "RP (s)",
+            "Tc (s)",
+        ]);
         for c in &report.cycles {
             let t = &c.timing;
             table.add_row(vec![

@@ -64,7 +64,10 @@ impl Amm for AmberAmm {
             disang: (!spec.params.restraints.is_empty()).then(|| format!("{base}.RST")),
         };
         let mdin_name = format!("{base}.mdin");
-        staging.put_text(&mdin_name, ctl.render(&format!("replica {} cycle {}", spec.replica, spec.cycle)));
+        staging.put_text(
+            &mdin_name,
+            ctl.render(&format!("replica {} cycle {}", spec.replica, spec.cycle)),
+        );
         if !spec.params.restraints.is_empty() {
             let sys = spec.system.lock();
             let records: Vec<DisangRestraint> = spec
@@ -84,11 +87,11 @@ impl Amm for AmberAmm {
 
         let executable = if spec.gpu { "pmemd.cuda" } else { self.executable(spec.cores) };
         let desc = UnitDescription::new(format!("md-{base}"), executable, spec.cores)
-        .with_duration(spec.duration)
-        .with_staging(
-            vec![mdin_name.clone()],
-            vec![format!("{base}.rst7"), format!("{base}.mdinfo")],
-        );
+            .with_duration(spec.duration)
+            .with_staging(
+                vec![mdin_name.clone()],
+                vec![format!("{base}.rst7"), format!("{base}.mdinfo")],
+            );
 
         // The payload re-reads and parses the staged input files — the same
         // round trip the real RAM makes on the cluster.

@@ -66,7 +66,10 @@ impl Amm for GromacsAmm {
 
         let desc = UnitDescription::new(format!("md-{base}"), "gmx mdrun", spec.cores)
             .with_duration(spec.duration)
-            .with_staging(vec![mdp_name.clone()], vec![format!("{base}.gro"), format!("{base}.mdinfo")]);
+            .with_staging(
+                vec![mdp_name.clone()],
+                vec![format!("{base}.gro"), format!("{base}.mdinfo")],
+            );
 
         let staging = staging.clone();
         let system = spec.system;
@@ -114,12 +117,7 @@ mod tests {
             replica: 2,
             slot: 2,
             cycle: 0,
-            params: SlotParams {
-                temperature: 310.0,
-                salt_molar: 0.1,
-                ph: 6.0,
-                restraints: vec![],
-            },
+            params: SlotParams { temperature: 310.0, salt_molar: 0.1, ph: 6.0, restraints: vec![] },
             system: Arc::new(Mutex::new(alanine_dipeptide())),
             steps: 1000,
             run_steps: 30,

@@ -63,7 +63,10 @@ impl Amm for NamdAmm {
 
         let desc = UnitDescription::new(format!("md-{base}"), "namd2", spec.cores)
             .with_duration(spec.duration)
-            .with_staging(vec![conf_name.clone()], vec![format!("{base}.coor"), format!("{base}.mdinfo")]);
+            .with_staging(
+                vec![conf_name.clone()],
+                vec![format!("{base}.coor"), format!("{base}.mdinfo")],
+            );
 
         let staging = staging.clone();
         let system = spec.system;

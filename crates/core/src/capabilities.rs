@@ -195,13 +195,11 @@ pub fn render_table1_markdown() -> String {
     line("Max CPU cores", &|r| format!("~{}", r.max_cpu_cores));
     line("Fault tolerance", &|r| r.fault_tolerance.to_string());
     line("MD engines", &|r| r.md_engines.join(", "));
-    line("RE patterns", &|r| {
-        match (r.sync_pattern, r.async_pattern) {
-            (true, true) => "sync, async".into(),
-            (true, false) => "sync".into(),
-            (false, true) => "async".into(),
-            (false, false) => "none".into(),
-        }
+    line("RE patterns", &|r| match (r.sync_pattern, r.async_pattern) {
+        (true, true) => "sync, async".into(),
+        (true, false) => "sync".into(),
+        (false, true) => "async".into(),
+        (false, false) => "none".into(),
     });
     line("Execution modes", &|r| r.execution_modes.to_string());
     line("Nr. dims", &|r| r.n_dims.to_string());
@@ -237,7 +235,8 @@ mod tests {
         // The paper's argument: only RepEx combines >2 dims, both patterns
         // and multiple engines.
         for p in table1() {
-            let complete = p.n_dims >= 3 && p.sync_pattern && p.async_pattern && p.md_engines.len() > 1;
+            let complete =
+                p.n_dims >= 3 && p.sync_pattern && p.async_pattern && p.md_engines.len() > 1;
             assert_eq!(complete, p.name == "RepEx", "{}", p.name);
         }
     }

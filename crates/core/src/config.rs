@@ -76,14 +76,32 @@ impl Workload {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case", rename_all_fields = "kebab-case", tag = "type")]
 pub enum DimensionConfig {
-    Temperature { min_k: f64, max_k: f64, count: usize },
+    Temperature {
+        min_k: f64,
+        max_k: f64,
+        count: usize,
+    },
     /// Explicit (possibly non-geometric) temperature rungs — what the
     /// adaptive ladder optimizer produces.
-    TemperatureList { temps_k: Vec<f64> },
-    Umbrella { dihedral: String, count: usize, k_deg: f64 },
-    Salt { min_molar: f64, max_molar: f64, count: usize },
+    TemperatureList {
+        temps_k: Vec<f64>,
+    },
+    Umbrella {
+        dihedral: String,
+        count: usize,
+        k_deg: f64,
+    },
+    Salt {
+        min_molar: f64,
+        max_molar: f64,
+        count: usize,
+    },
     /// pH-exchange dimension (the paper's Section 5 extension).
-    Ph { min_ph: f64, max_ph: f64, count: usize },
+    Ph {
+        min_ph: f64,
+        max_ph: f64,
+        count: usize,
+    },
 }
 
 impl DimensionConfig {

@@ -158,8 +158,7 @@ pub fn run_federated(
         }
         timing.t_repex_over += t_repex;
         // --- MD phase on every pilot concurrently --------------------------
-        let md_start: f64 =
-            pilots.iter().map(|p| p.executor.now().as_secs()).fold(0.0, f64::max);
+        let md_start: f64 = pilots.iter().map(|p| p.executor.now().as_secs()).fold(0.0, f64::max);
         for (p, pilot) in pilots.iter_mut().enumerate() {
             // RP overhead per pilot, proportional to its own task count.
             let n_local = home_pilot.iter().filter(|&&h| h == p).count();
@@ -197,8 +196,7 @@ pub fn run_federated(
         let wan_in = wan.transfer_seconds(n_remote, MDINFO_BYTES);
         pilots[0].executor.charge_overhead(wan_in);
         wan_seconds += wan_in;
-        timing.t_data += wan_in
-            + ctx.perf.data.data_seconds(ctx.dim_kind(0), n, &ctx.cluster);
+        timing.t_data += wan_in + ctx.perf.data.data_seconds(ctx.dim_kind(0), n, &ctx.cluster);
 
         // --- Exchange on the coordinator -----------------------------------
         let ex_start = pilots[0].executor.now().as_secs();
@@ -208,11 +206,8 @@ pub fn run_federated(
             if let Ok(TaskResult::Exchange(report)) = done.outcome {
                 ctx.acceptance[0].merge(&report.stats);
                 // Swaps across clusters ship restart files over the WAN.
-                let crossing = report
-                    .swaps
-                    .iter()
-                    .filter(|&&(a, b)| home_pilot[a] != home_pilot[b])
-                    .count();
+                let crossing =
+                    report.swaps.iter().filter(|&&(a, b)| home_pilot[a] != home_pilot[b]).count();
                 cross_cluster_swaps += crossing as u64;
                 let wan_out = wan.transfer_seconds(2 * crossing, RESTART_BYTES);
                 pilots[0].executor.charge_overhead(wan_out);
@@ -220,9 +215,7 @@ pub fn run_federated(
                 ctx.apply_swaps(0, &report.swaps);
             }
         }
-        timing
-            .t_ex
-            .push((ctx.dim_kind(0), pilots[0].executor.now().as_secs() - ex_start));
+        timing.t_ex.push((ctx.dim_kind(0), pilots[0].executor.now().as_secs() - ex_start));
         // Re-synchronize all pilots after the exchange.
         let global = pilots.iter().map(|p| p.executor.now().as_secs()).fold(0.0, f64::max);
         for p in pilots.iter_mut() {

@@ -175,11 +175,7 @@ impl DriverCtx {
     /// per-replica single-point tasks for S — see DESIGN.md). The pairing,
     /// Metropolis tests and single-point energies inside the payload are
     /// real.
-    pub fn exchange_unit(
-        &self,
-        dim: usize,
-        cycle: u64,
-    ) -> (UnitDescription, TaskWork<TaskResult>) {
+    pub fn exchange_unit(&self, dim: usize, cycle: u64) -> (UnitDescription, TaskWork<TaskResult>) {
         let kind = self.dim_kind(dim);
         let groups = self
             .grid
@@ -465,11 +461,8 @@ mod tests {
     #[test]
     fn salt_exchange_unit_needs_group_cores() {
         let mut cfg = SimulationConfig::t_remd(4, 100, 1);
-        cfg.dimensions = vec![crate::config::DimensionConfig::Salt {
-            min_molar: 0.0,
-            max_molar: 1.0,
-            count: 6,
-        }];
+        cfg.dimensions =
+            vec![crate::config::DimensionConfig::Salt { min_molar: 0.0, max_molar: 1.0, count: 6 }];
         cfg.surrogate_steps = 10;
         let ctx = build_ctx(cfg).unwrap();
         let (desc, _) = ctx.exchange_unit(0, 0);

@@ -8,11 +8,13 @@
 //! singles out as dominating S-REMD).
 
 use crate::task::ExchangeReport;
-use exchange::metropolis::{hamiltonian_delta, metropolis_accept, temperature_delta, umbrella_delta};
+use exchange::metropolis::{
+    hamiltonian_delta, metropolis_accept, temperature_delta, umbrella_delta,
+};
 use exchange::pairing::{select_pairs, PairingStrategy};
 use exchange::param::ExchangeParam;
 use exchange::stats::AcceptanceStats;
-use mdsim::engine::MdEngine;
+use mdsim::engine::{MdEngine, SinglePointRequest};
 use mdsim::{DihedralRestraint, System};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -103,10 +105,10 @@ fn pair_delta(
     match (&sa.param, &sb.param) {
         (ExchangeParam::Temperature(ta), ExchangeParam::Temperature(tb)) => {
             // Physical potential energies from the staged mdinfo files.
-            let ea = crate::amm::amber::read_staged_mdinfo(staging, &sa.file_base)?
-                .physical_potential();
-            let eb = crate::amm::amber::read_staged_mdinfo(staging, &sb.file_base)?
-                .physical_potential();
+            let ea =
+                crate::amm::amber::read_staged_mdinfo(staging, &sa.file_base)?.physical_potential();
+            let eb =
+                crate::amm::amber::read_staged_mdinfo(staging, &sb.file_base)?.physical_potential();
             Ok(temperature_delta(*ta, ea, *tb, eb))
         }
         (ExchangeParam::Umbrella { .. }, ExchangeParam::Umbrella { .. }) => {
@@ -133,30 +135,44 @@ fn pair_delta(
         }
         (ExchangeParam::Salt(ca), ExchangeParam::Salt(cb)) => {
             // Four single-point energies through the engine — the expensive
-            // part of S-REMD exchange.
+            // part of S-REMD exchange. Batched per system so each replica's
+            // pair list is built once and shared by both parameter sets.
+            let requests = [
+                SinglePointRequest::new(*ca, sa.ph, &sa.restraints),
+                SinglePointRequest::new(*cb, sb.ph, &sb.restraints),
+            ];
             let sys_a = sa.system.lock();
             let sys_b = sb.system.lock();
-            let e_a_of_a = engine.single_point_with(&sys_a, *ca, sa.ph, &sa.restraints).total();
-            let e_a_of_b = engine.single_point_with(&sys_b, *ca, sa.ph, &sa.restraints).total();
-            let e_b_of_a = engine.single_point_with(&sys_a, *cb, sb.ph, &sb.restraints).total();
-            let e_b_of_b = engine.single_point_with(&sys_b, *cb, sb.ph, &sb.restraints).total();
-            Ok(hamiltonian_delta(sa.temperature, e_a_of_a, e_a_of_b, e_b_of_a, e_b_of_b))
+            let on_a = engine.single_points_with(&sys_a, &requests);
+            let on_b = engine.single_points_with(&sys_b, &requests);
+            Ok(hamiltonian_delta(
+                sa.temperature,
+                on_a[0].total(),
+                on_b[0].total(),
+                on_a[1].total(),
+                on_b[1].total(),
+            ))
         }
         (ExchangeParam::Ph(pa), ExchangeParam::Ph(pb)) => {
             // pH exchange is a Hamiltonian exchange over the pH-dependent
             // effective charges of the titratable sites (the paper's
             // proposed extension; same structure as constant-pH REMD).
+            // Batched like S-exchange: one pair list per system.
+            let requests = [
+                SinglePointRequest::new(sa.salt_molar, *pa, &sa.restraints),
+                SinglePointRequest::new(sb.salt_molar, *pb, &sb.restraints),
+            ];
             let sys_a = sa.system.lock();
             let sys_b = sb.system.lock();
-            let e_a_of_a =
-                engine.single_point_with(&sys_a, sa.salt_molar, *pa, &sa.restraints).total();
-            let e_a_of_b =
-                engine.single_point_with(&sys_b, sa.salt_molar, *pa, &sa.restraints).total();
-            let e_b_of_a =
-                engine.single_point_with(&sys_a, sb.salt_molar, *pb, &sb.restraints).total();
-            let e_b_of_b =
-                engine.single_point_with(&sys_b, sb.salt_molar, *pb, &sb.restraints).total();
-            Ok(hamiltonian_delta(sa.temperature, e_a_of_a, e_a_of_b, e_b_of_a, e_b_of_b))
+            let on_a = engine.single_points_with(&sys_a, &requests);
+            let on_b = engine.single_points_with(&sys_b, &requests);
+            Ok(hamiltonian_delta(
+                sa.temperature,
+                on_a[0].total(),
+                on_b[0].total(),
+                on_a[1].total(),
+                on_b[1].total(),
+            ))
         }
         (pa, pb) => Err(format!(
             "mismatched exchange parameters in one dimension: {:?} vs {:?}",
@@ -222,9 +238,7 @@ mod tests {
             cycle: 0,
             strategy: PairingStrategy::NeighborAlternating,
             seed: 1,
-            groups: vec![GroupInput {
-                slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 400.0, "b")],
-            }],
+            groups: vec![GroupInput { slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 400.0, "b")] }],
             staging,
         };
         let report = run_exchange(input, engine()).unwrap();
@@ -243,9 +257,7 @@ mod tests {
             cycle: 0,
             strategy: PairingStrategy::NeighborAlternating,
             seed: 1,
-            groups: vec![GroupInput {
-                slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 301.0, "b")],
-            }],
+            groups: vec![GroupInput { slots: vec![t_slot(0, 300.0, "a"), t_slot(1, 301.0, "b")] }],
             staging,
         };
         let report = run_exchange(input, engine()).unwrap();
@@ -403,9 +415,7 @@ mod tests {
     fn mismatched_params_in_dimension_error() {
         let staging = StagingArea::new();
         stage_mdinfo(&staging, "a", 0.0);
-        let mixed = GroupInput {
-            slots: vec![t_slot(0, 300.0, "a"), s_slot(1, 0.5)],
-        };
+        let mixed = GroupInput { slots: vec![t_slot(0, 300.0, "a"), s_slot(1, 0.5)] };
         let input = ExchangeInput {
             dim: 0,
             cycle: 0,

@@ -18,10 +18,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Create the pilot for a configuration (exposed for fault-injection tests).
-pub fn make_pilot(
-    cfg: &SimulationConfig,
-    fault: FaultModel,
-) -> Result<Pilot<TaskResult>, String> {
+pub fn make_pilot(cfg: &SimulationConfig, fault: FaultModel) -> Result<Pilot<TaskResult>, String> {
     let backend = match cfg.resource.backend.as_str() {
         "simulated" => Backend::Simulated,
         "local" => Backend::Local,
@@ -132,13 +129,8 @@ impl RemdSimulation {
         } else {
             0.0
         };
-        let acceptance = ctx
-            .grid
-            .dims
-            .iter()
-            .zip(&ctx.acceptance)
-            .map(|(d, s)| (d.kind_letter(), *s))
-            .collect();
+        let acceptance =
+            ctx.grid.dims.iter().zip(&ctx.acceptance).map(|(d, s)| (d.kind_letter(), *s)).collect();
         Ok(SimulationReport {
             title: ctx.cfg.title.clone(),
             pattern: pattern_name,

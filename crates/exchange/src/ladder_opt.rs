@@ -48,11 +48,7 @@ pub fn respace_temperature_ladder(
         return Err("need at least 3 rungs to re-space".into());
     }
     if pairs.stats.len() != temps.len() - 1 {
-        return Err(format!(
-            "{} pair measurements for {} rungs",
-            pairs.stats.len(),
-            temps.len()
-        ));
+        return Err(format!("{} pair measurements for {} rungs", pairs.stats.len(), temps.len()));
     }
     if !(0.01..=0.99).contains(&target_acceptance) {
         return Err("target acceptance must be in [0.01, 0.99]".into());

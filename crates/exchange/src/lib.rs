@@ -20,11 +20,11 @@ pub mod pairing;
 pub mod param;
 pub mod stats;
 
+pub use ladder_opt::{respace_dimension, respace_temperature_ladder, PairAcceptance};
 pub use metropolis::{
     acceptance_probability, hamiltonian_delta, metropolis_accept, temperature_delta, umbrella_delta,
 };
 pub use multidim::ParamGrid;
 pub use pairing::{select_pairs, validate_pairs, PairingStrategy};
-pub use ladder_opt::{respace_dimension, respace_temperature_ladder, PairAcceptance};
 pub use param::{Dimension, ExchangeParam};
 pub use stats::{AcceptanceStats, RoundTripTracker};

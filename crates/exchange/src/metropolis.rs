@@ -39,7 +39,13 @@ pub fn umbrella_delta(t: f64, u_i_of_i: f64, u_i_of_j: f64, u_j_of_i: f64, u_j_o
 /// `e_a_of_b` is the full potential of Hamiltonian `a` (salt concentration
 /// of replica `a`) evaluated on the coordinates of replica `b` — the four
 /// single-point energies whose computation dominates S-REMD exchange cost.
-pub fn hamiltonian_delta(t: f64, e_i_of_i: f64, e_i_of_j: f64, e_j_of_i: f64, e_j_of_j: f64) -> f64 {
+pub fn hamiltonian_delta(
+    t: f64,
+    e_i_of_i: f64,
+    e_i_of_j: f64,
+    e_j_of_i: f64,
+    e_j_of_j: f64,
+) -> f64 {
     beta(t) * (e_i_of_j + e_j_of_i - e_i_of_i - e_j_of_j)
 }
 

@@ -72,11 +72,7 @@ impl ParamGrid {
 
     /// The parameter values held by a grid slot.
     pub fn params_at(&self, coords: &[usize]) -> Vec<ExchangeParam> {
-        coords
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| self.dims[d].ladder[c].clone())
-            .collect()
+        coords.iter().enumerate().map(|(d, &c)| self.dims[d].ladder[c].clone()).collect()
     }
 
     /// Exchange groups for dimension `d`: each group lists the slots that

@@ -83,9 +83,7 @@ impl Dimension {
             vec![ExchangeParam::Temperature(t_min)]
         } else {
             let ratio = (t_max / t_min).powf(1.0 / (n as f64 - 1.0));
-            (0..n)
-                .map(|i| ExchangeParam::Temperature(t_min * ratio.powi(i as i32)))
-                .collect()
+            (0..n).map(|i| ExchangeParam::Temperature(t_min * ratio.powi(i as i32))).collect()
         };
         Dimension { name: "T".into(), ladder }
     }
@@ -226,7 +224,8 @@ mod tests {
         assert_eq!(ExchangeParam::Salt(0.5).letter(), 'S');
         assert_eq!(ExchangeParam::Ph(7.0).letter(), 'P');
         assert_eq!(
-            ExchangeParam::Umbrella { dihedral: "psi".into(), center_deg: 0.0, k_deg: 0.1 }.letter(),
+            ExchangeParam::Umbrella { dihedral: "psi".into(), center_deg: 0.0, k_deg: 0.1 }
+                .letter(),
             'U'
         );
     }

@@ -192,7 +192,12 @@ impl ExchangeCostModel {
     /// the pilot's cores. Reproduces both the Mode-I linear growth of Fig. 6
     /// (≈225 s at 1728 replicas) and the Mode-II blow-up of Fig. 10
     /// (≈1800 s at 112 cores).
-    pub fn salt_wall_seconds(&self, n_replicas: usize, pilot_cores: usize, group_len: usize) -> f64 {
+    pub fn salt_wall_seconds(
+        &self,
+        n_replicas: usize,
+        pilot_cores: usize,
+        group_len: usize,
+    ) -> f64 {
         if n_replicas == 0 {
             return 0.0;
         }
@@ -240,7 +245,12 @@ impl Default for DataCostModel {
 }
 
 impl DataCostModel {
-    pub fn data_seconds(&self, kind: ExchangeKind, n_replicas: usize, cluster: &ClusterSpec) -> f64 {
+    pub fn data_seconds(
+        &self,
+        kind: ExchangeKind,
+        n_replicas: usize,
+        cluster: &ClusterSpec,
+    ) -> f64 {
         let n = n_replicas as f64;
         let raw = match kind {
             ExchangeKind::Temperature | ExchangeKind::Ph => self.t_base + self.t_per_replica * n,

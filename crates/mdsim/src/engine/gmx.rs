@@ -9,7 +9,9 @@
 //! * the `sd` integrator (GROMACS's Langevin) is the only supported one.
 
 use super::sander::run_langevin;
-use super::{job_forcefield, EngineError, MdEngine, MdJob, MdOutput};
+use super::{
+    batch_single_points, job_forcefield, EngineError, MdEngine, MdJob, MdOutput, SinglePointRequest,
+};
 use crate::forcefield::{DihedralRestraint, EnergyBreakdown, NonbondedParams};
 use crate::integrator::EvalMode;
 use crate::io::mdp::MdpConfig;
@@ -89,6 +91,14 @@ impl MdEngine for GmxEngine {
         restraints: &[DihedralRestraint],
     ) -> EnergyBreakdown {
         job_forcefield(&self.base, salt_molar, ph, restraints).energy(system)
+    }
+
+    fn single_points_with(
+        &self,
+        system: &System,
+        requests: &[SinglePointRequest<'_>],
+    ) -> Vec<EnergyBreakdown> {
+        batch_single_points(&self.base, system, requests, false)
     }
 }
 

@@ -21,10 +21,30 @@ pub use namd::NamdEngine;
 pub use pmemd::PmemdEngine;
 pub use sander::SanderEngine;
 
-use crate::forcefield::{DihedralRestraint, EnergyBreakdown, ForceField, NonbondedParams};
+use crate::forcefield::{
+    DihedralRestraint, EnergyBreakdown, EvalContext, ForceField, NonbondedParams,
+};
 use crate::io::mdinfo::MdInfo;
 use crate::system::{State, System};
 use serde::{Deserialize, Serialize};
+
+/// One request in a single-point energy batch: the exchange parameters under
+/// which the system's (fixed) coordinates are to be evaluated.
+#[derive(Debug, Clone, Copy)]
+pub struct SinglePointRequest<'a> {
+    /// Salt concentration in mol/L (S-REMD exchange parameter).
+    pub salt_molar: f64,
+    /// Solvent pH (pH-REMD exchange parameter).
+    pub ph: f64,
+    /// Umbrella restraints (U-REMD exchange parameter).
+    pub restraints: &'a [DihedralRestraint],
+}
+
+impl<'a> SinglePointRequest<'a> {
+    pub fn new(salt_molar: f64, ph: f64, restraints: &'a [DihedralRestraint]) -> Self {
+        SinglePointRequest { salt_molar, ph, restraints }
+    }
+}
 
 /// A fully-specified MD task (the content of one replica's cycle).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,6 +163,48 @@ pub trait MdEngine: Send + Sync {
     ) -> EnergyBreakdown {
         self.single_point_with(system, salt_molar, 7.0, restraints)
     }
+
+    /// A batch of single-point energies on the **same coordinates** under
+    /// different exchange parameters — the shape of the extra evaluations
+    /// S-, U- and pH-exchange need per candidate pair.
+    ///
+    /// Engines override this to share one evaluation context across the
+    /// batch, so the neighbor pair list is built once instead of once per
+    /// request. The default falls back to independent evaluations.
+    fn single_points_with(
+        &self,
+        system: &System,
+        requests: &[SinglePointRequest<'_>],
+    ) -> Vec<EnergyBreakdown> {
+        requests
+            .iter()
+            .map(|r| self.single_point_with(system, r.salt_molar, r.ph, r.restraints))
+            .collect()
+    }
+}
+
+/// Shared batched single-point evaluation: one [`EvalContext`] across all
+/// requests. Coordinates and cutoff are identical across the batch, so the
+/// first request builds the pair list and every later one reuses it (only
+/// `NonbondedParams`/restraints differ).
+pub(crate) fn batch_single_points(
+    base: &NonbondedParams,
+    system: &System,
+    requests: &[SinglePointRequest<'_>],
+    parallel: bool,
+) -> Vec<EnergyBreakdown> {
+    let mut ctx = EvalContext::new();
+    requests
+        .iter()
+        .map(|r| {
+            let ff = job_forcefield(base, r.salt_molar, r.ph, r.restraints);
+            if parallel {
+                ff.energy_par_ctx(system, &mut ctx)
+            } else {
+                ff.energy_ctx(system, &mut ctx)
+            }
+        })
+        .collect()
 }
 
 /// Shared helper: build the per-job force field from an engine's base
@@ -196,6 +258,31 @@ mod tests {
         let bad = vec![DihedralRestraint::new("omega", 0.02, 0.0)];
         assert!(validate_restraints(&sys, &ok).is_ok());
         assert!(validate_restraints(&sys, &bad).is_err());
+    }
+
+    #[test]
+    fn batched_single_points_match_individual_evaluations() {
+        let base = dipeptide_forcefield().nonbonded;
+        let engine = SanderEngine::new(base);
+        let sys = alanine_dipeptide();
+        let rs = vec![DihedralRestraint::new("phi", 0.02, 45.0)];
+        let requests = [
+            SinglePointRequest::new(0.0, 7.0, &[]),
+            SinglePointRequest::new(0.5, 7.0, &[]),
+            SinglePointRequest::new(0.5, 5.0, &rs),
+            SinglePointRequest::new(2.0, 7.0, &rs),
+        ];
+        let batched = engine.single_points_with(&sys, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (b, r) in batched.iter().zip(&requests) {
+            let single = engine.single_point_with(&sys, r.salt_molar, r.ph, r.restraints);
+            assert!(
+                (b.total() - single.total()).abs() < 1e-9,
+                "batched {} vs individual {}",
+                b.total(),
+                single.total()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * restraints are configured colvars-style (name, center, k) instead of a
 //!   DISANG file.
 
-use super::{job_forcefield, validate_restraints, EngineError, MdEngine, MdJob, MdOutput};
+use super::{
+    batch_single_points, job_forcefield, validate_restraints, EngineError, MdEngine, MdJob,
+    MdOutput, SinglePointRequest,
+};
 use crate::forcefield::{DihedralRestraint, EnergyBreakdown, NonbondedParams};
 use crate::integrator::{EvalMode, Integrator, LangevinBaoab};
 use crate::io::mdinfo::MdInfo;
@@ -58,8 +61,8 @@ impl NamdEngine {
         config_text: &str,
         sample_stride: u64,
     ) -> Result<MdOutput, EngineError> {
-        let cfg = NamdConfig::parse(config_text)
-            .map_err(|e| EngineError::BadInput(e.to_string()))?;
+        let cfg =
+            NamdConfig::parse(config_text).map_err(|e| EngineError::BadInput(e.to_string()))?;
         self.run(system, &Self::job_from_config(&cfg, sample_stride))
     }
 }
@@ -87,8 +90,8 @@ impl MdEngine for NamdEngine {
         validate_restraints(system, &job.restraints)?;
         let ff = job_forcefield(&self.base, job.salt_molar, job.ph, &job.restraints);
         let mut rng = StdRng::seed_from_u64(job.seed ^ 0x4e41_4d44); // "NAMD"
-        // NAMD semantics: the `temperature` keyword initializes velocities
-        // when the system has (near-)zero kinetic energy.
+                                                                     // NAMD semantics: the `temperature` keyword initializes velocities
+                                                                     // when the system has (near-)zero kinetic energy.
         if system.kinetic_energy() < 1e-9 {
             system.assign_maxwell_boltzmann(job.temperature, &mut rng);
         }
@@ -129,6 +132,14 @@ impl MdEngine for NamdEngine {
         restraints: &[DihedralRestraint],
     ) -> EnergyBreakdown {
         job_forcefield(&self.base, salt_molar, ph, restraints).energy(system)
+    }
+
+    fn single_points_with(
+        &self,
+        system: &System,
+        requests: &[SinglePointRequest<'_>],
+    ) -> Vec<EnergyBreakdown> {
+        batch_single_points(&self.base, system, requests, false)
     }
 }
 

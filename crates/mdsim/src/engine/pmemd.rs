@@ -6,8 +6,10 @@
 //! on the cores-per-replica setting, and our AMM does the same.
 
 use super::sander::run_langevin;
-use super::{job_forcefield, EngineError, MdEngine, MdJob, MdOutput};
-use crate::forcefield::{DihedralRestraint, EnergyBreakdown, NonbondedParams};
+use super::{
+    batch_single_points, job_forcefield, EngineError, MdEngine, MdJob, MdOutput, SinglePointRequest,
+};
+use crate::forcefield::{DihedralRestraint, EnergyBreakdown, EvalContext, NonbondedParams};
 use crate::integrator::EvalMode;
 use crate::system::System;
 
@@ -58,8 +60,16 @@ impl MdEngine for PmemdEngine {
         restraints: &[DihedralRestraint],
     ) -> EnergyBreakdown {
         let ff = job_forcefield(&self.base, salt_molar, ph, restraints);
-        let mut scratch = vec![crate::vec3::Vec3::ZERO; system.n_atoms()];
-        ff.energy_forces_par(system, &mut scratch)
+        // Energy-only parallel path: no force accumulation for single-points.
+        ff.energy_par_ctx(system, &mut EvalContext::new())
+    }
+
+    fn single_points_with(
+        &self,
+        system: &System,
+        requests: &[SinglePointRequest<'_>],
+    ) -> Vec<EnergyBreakdown> {
+        batch_single_points(&self.base, system, requests, true)
     }
 }
 

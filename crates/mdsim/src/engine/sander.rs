@@ -1,6 +1,9 @@
 //! `sander`-analogue: the serial reference engine.
 
-use super::{job_forcefield, validate_restraints, EngineError, MdEngine, MdJob, MdOutput};
+use super::{
+    batch_single_points, job_forcefield, validate_restraints, EngineError, MdEngine, MdJob,
+    MdOutput, SinglePointRequest,
+};
 use crate::forcefield::{DihedralRestraint, EnergyBreakdown, NonbondedParams};
 use crate::integrator::{EvalMode, Integrator, LangevinBaoab};
 use crate::io::mdinfo::MdInfo;
@@ -94,6 +97,14 @@ impl MdEngine for SanderEngine {
         restraints: &[DihedralRestraint],
     ) -> EnergyBreakdown {
         job_forcefield(&self.base, salt_molar, ph, restraints).energy(system)
+    }
+
+    fn single_points_with(
+        &self,
+        system: &System,
+        requests: &[SinglePointRequest<'_>],
+    ) -> Vec<EnergyBreakdown> {
+        batch_single_points(&self.base, system, requests, false)
     }
 }
 
@@ -201,7 +212,9 @@ mod tests {
         let engine = SanderEngine::new(NonbondedParams {
             cutoff: 12.0,
             dielectric: 10.0,
-            salt_molar: 0.0, ph: 7.0 });
+            salt_molar: 0.0,
+            ph: 7.0,
+        });
         let sys = prepared_system(3, 300.0);
         let e0 = engine.single_point(&sys, 0.0, &[]).coulomb;
         let e1 = engine.single_point(&sys, 2.0, &[]).coulomb;

@@ -28,6 +28,17 @@ pub fn bond_energy_force(
     energy
 }
 
+/// Energy of a harmonic bond without force accumulation (single-point path).
+/// Uses the same expressions as [`bond_energy_force`], so the two agree
+/// bitwise.
+pub fn bond_energy(bond: &Bond, positions: &[Vec3], pbc: &PbcBox) -> f64 {
+    let (i, j) = (bond.i as usize, bond.j as usize);
+    let d = pbc.min_image(positions[i], positions[j]);
+    let r = d.norm();
+    let dr = r - bond.r0;
+    bond.k * dr * dr
+}
+
 /// Harmonic angle energy `k (theta - theta0)^2`.
 pub fn angle_energy_force(
     angle: &Angle,
@@ -57,6 +68,22 @@ pub fn angle_energy_force(
     forces[k] += fk;
     forces[j] -= fi + fk;
     energy
+}
+
+/// Energy of a harmonic angle without force accumulation.
+pub fn angle_energy(angle: &Angle, positions: &[Vec3], pbc: &PbcBox) -> f64 {
+    let (i, j, k) = (angle.i as usize, angle.j as usize, angle.k_atom as usize);
+    let u = pbc.min_image(positions[i], positions[j]);
+    let v = pbc.min_image(positions[k], positions[j]);
+    let nu = u.norm();
+    let nv = v.norm();
+    if nu < 1e-12 || nv < 1e-12 {
+        return 0.0;
+    }
+    let cos_t = (u.dot(v) / (nu * nv)).clamp(-1.0, 1.0);
+    let theta = cos_t.acos();
+    let dtheta = theta - angle.theta0;
+    angle.k * dtheta * dtheta
 }
 
 /// Dihedral angle over four positions, radians in `(-pi, pi]`, plus the
@@ -126,12 +153,8 @@ pub fn torsion_energy_force(
     pbc: &PbcBox,
     forces: &mut [Vec3],
 ) -> f64 {
-    let (i, j, k, l) = (
-        torsion.i as usize,
-        torsion.j as usize,
-        torsion.k_atom as usize,
-        torsion.l as usize,
-    );
+    let (i, j, k, l) =
+        (torsion.i as usize, torsion.j as usize, torsion.k_atom as usize, torsion.l as usize);
     let Some((phi, b1, b2, b3, n1, n2)) =
         dihedral_geometry(positions[i], positions[j], positions[k], positions[l], pbc)
     else {
@@ -145,9 +168,44 @@ pub fn torsion_energy_force(
     energy
 }
 
+/// Energy of a periodic torsion without force accumulation.
+pub fn torsion_energy(torsion: &Torsion, positions: &[Vec3], pbc: &PbcBox) -> f64 {
+    let (i, j, k, l) =
+        (torsion.i as usize, torsion.j as usize, torsion.k_atom as usize, torsion.l as usize);
+    let Some((phi, ..)) =
+        dihedral_geometry(positions[i], positions[j], positions[k], positions[l], pbc)
+    else {
+        return 0.0;
+    };
+    let n = torsion.n as f64;
+    let arg = n * phi - torsion.delta;
+    torsion.k * (1.0 + arg.cos())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn energy_only_matches_energy_force_variants() {
+        let pos = [
+            Vec3::new(0.1, 1.0, 0.2),
+            Vec3::new(0.0, 0.0, 0.1),
+            Vec3::new(1.0, 0.1, 0.0),
+            Vec3::new(1.3, -0.9, 0.7),
+        ];
+        let pbc = PbcBox::VACUUM;
+        let mut f = vec![Vec3::ZERO; 4];
+        let bond = Bond { i: 0, j: 1, k: 120.0, r0: 1.2 };
+        assert_eq!(bond_energy(&bond, &pos, &pbc), bond_energy_force(&bond, &pos, &pbc, &mut f));
+        let angle = Angle { i: 0, j: 1, k_atom: 2, k: 35.0, theta0: 1.9 };
+        assert_eq!(
+            angle_energy(&angle, &pos, &pbc),
+            angle_energy_force(&angle, &pos, &pbc, &mut f)
+        );
+        let t = Torsion { i: 0, j: 1, k_atom: 2, l: 3, k: 3.0, n: 3, delta: 0.4 };
+        assert_eq!(torsion_energy(&t, &pos, &pbc), torsion_energy_force(&t, &pos, &pbc, &mut f));
+    }
 
     #[test]
     fn bond_at_equilibrium_has_zero_energy_and_force() {

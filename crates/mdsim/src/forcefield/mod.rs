@@ -1,10 +1,18 @@
 //! The complete force field: bonded + nonbonded + umbrella restraints.
 //!
-//! [`ForceField::energy_forces`] is the serial reference evaluation used by
-//! the `sander`-like engine; [`ForceField::energy_forces_par`] is the
+//! [`ForceField::energy_forces_ctx`] is the serial evaluation used by the
+//! `sander`-like engine; [`ForceField::energy_forces_par_ctx`] is the
 //! Rayon-parallel evaluation used by the `pmemd`-like engine for multi-core
 //! replicas. Both produce identical energies (up to floating-point
 //! reassociation in the parallel reduction).
+//!
+//! All hot paths take an [`EvalContext`], which owns the persistent state
+//! that makes repeated evaluations cheap: the Verlet neighbor list (reused
+//! across MD steps until an atom moves more than half the skin), the
+//! precomputed Lennard-Jones mixing table, the pH-adjusted charge buffer and
+//! the pooled per-chunk force buffers of the parallel reduction. The
+//! context-free wrappers ([`ForceField::energy_forces`] and friends) build a
+//! throwaway context and exist for one-shot calls and tests.
 
 pub mod bonded;
 pub mod nonbonded;
@@ -13,9 +21,10 @@ pub mod restraint;
 pub use nonbonded::NonbondedParams;
 pub use restraint::DihedralRestraint;
 
-use crate::neighbor::{all_pairs, CellList};
+use crate::neighbor::NeighborCache;
 use crate::system::System;
 use crate::vec3::Vec3;
+use nonbonded::{LjTable, NbScalars};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -43,9 +52,68 @@ impl EnergyBreakdown {
     }
 }
 
-/// Threshold above which the engines switch from the O(N²) loop to the cell
-/// list. Small systems (the reduced dipeptide) are faster without the list.
-const CELL_LIST_THRESHOLD: usize = 400;
+/// Persistent evaluation state threaded through integrators and engines.
+///
+/// Owns everything the force loop would otherwise rebuild or reallocate per
+/// call: the Verlet neighbor list, the LJ mixing table, the effective-charge
+/// buffer and the pooled force buffers of the parallel reduction. A context
+/// belongs to one [`System`] at a time; it detects coordinate, box, atom
+/// count and cutoff changes automatically and rebuilds what is stale, so
+/// sharing one across the single-point evaluations of an exchange batch (same
+/// coordinates, different [`NonbondedParams`]) reuses the pair list for all
+/// of them.
+#[derive(Debug, Clone, Default)]
+pub struct EvalContext {
+    /// The Verlet list (public so callers can inspect rebuild statistics).
+    pub neighbors: NeighborCache,
+    lj: Option<LjTable>,
+    /// Effective per-atom charges (base charge plus pH shift on titratable
+    /// sites), refreshed every evaluation without allocating.
+    charges: Vec<f64>,
+    /// Pooled per-chunk force buffers for the parallel reduction.
+    par_forces: Vec<Vec<Vec3>>,
+}
+
+impl EvalContext {
+    /// Context with the default Verlet skin.
+    pub fn new() -> Self {
+        Self::with_skin(NeighborCache::DEFAULT_SKIN)
+    }
+
+    /// Context with an explicit skin width (0 = rebuild whenever the
+    /// coordinates change at all; the fresh-build reference behavior).
+    pub fn with_skin(skin: f64) -> Self {
+        EvalContext {
+            neighbors: NeighborCache::new(skin),
+            lj: None,
+            charges: Vec::new(),
+            par_forces: Vec::new(),
+        }
+    }
+
+    /// Drop all cached state (e.g. after the caller swapped to a different
+    /// system or mutated the topology).
+    pub fn invalidate(&mut self) {
+        self.neighbors.invalidate();
+        self.lj = None;
+    }
+
+    /// Refresh every cached component for `system` under `ff`'s parameters.
+    fn prepare(&mut self, ff: &ForceField, system: &System) {
+        self.neighbors.ensure(system, ff.nonbonded.cutoff);
+        let top = &system.topology;
+        let fresh =
+            self.lj.as_ref().is_some_and(|t| t.matches(top.atoms.len(), ff.nonbonded.cutoff));
+        if !fresh {
+            self.lj = Some(LjTable::build(&top.atoms, ff.nonbonded.cutoff));
+        }
+        self.charges.clear();
+        self.charges.extend(top.atoms.iter().map(|a| a.charge));
+        for site in &top.titratable {
+            self.charges[site.atom as usize] += site.charge_shift(ff.nonbonded.ph);
+        }
+    }
+}
 
 /// A complete parameterized force field.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -66,208 +134,272 @@ impl ForceField {
         self.restraints = restraints;
     }
 
-    /// Serial evaluation: fills `forces` (must be `n_atoms` long, will be
-    /// zeroed) and returns the energy breakdown.
-    pub fn energy_forces(&self, system: &System, forces: &mut [Vec3]) -> EnergyBreakdown {
+    /// Serial evaluation through a persistent context: fills `forces` (must
+    /// be `n_atoms` long, will be zeroed) and returns the energy breakdown.
+    pub fn energy_forces_ctx(
+        &self,
+        system: &System,
+        ctx: &mut EvalContext,
+        forces: &mut [Vec3],
+    ) -> EnergyBreakdown {
         assert_eq!(forces.len(), system.n_atoms());
         forces.fill(Vec3::ZERO);
-        let mut e = EnergyBreakdown::default();
+        let mut e = self.bonded_energy_forces(system, forces);
+        ctx.prepare(self, system);
+        let sc = NbScalars::new(&self.nonbonded);
+        let table = ctx.lj.as_ref().expect("prepared");
         let pos = &system.state.positions;
         let pbc = &system.pbc;
-        let top = &system.topology;
-
-        for b in &top.bonds {
-            e.bond += bonded::bond_energy_force(b, pos, pbc, forces);
-        }
-        for a in &top.angles {
-            e.angle += bonded::angle_energy_force(a, pos, pbc, forces);
-        }
-        for t in &top.torsions {
-            e.torsion += bonded::torsion_energy_force(t, pos, pbc, forces);
-        }
-        for r in &self.restraints {
-            if let Some(d) = top.dihedral(&r.dihedral) {
-                e.restraint += r.energy_force(d.atoms, pos, pbc, forces);
-            }
-        }
-
-        let (lj, coul) = self.nonbonded_serial(system, forces);
-        e.lj = lj;
-        e.coulomb = coul;
-        e
-    }
-
-    /// Parallel evaluation using Rayon for the nonbonded loop (the dominant
-    /// cost). Bonded terms stay serial: they are O(N) with tiny constants.
-    pub fn energy_forces_par(&self, system: &System, forces: &mut [Vec3]) -> EnergyBreakdown {
-        assert_eq!(forces.len(), system.n_atoms());
-        forces.fill(Vec3::ZERO);
-        let mut e = EnergyBreakdown::default();
-        let pos = &system.state.positions;
-        let pbc = &system.pbc;
-        let top = &system.topology;
-
-        for b in &top.bonds {
-            e.bond += bonded::bond_energy_force(b, pos, pbc, forces);
-        }
-        for a in &top.angles {
-            e.angle += bonded::angle_energy_force(a, pos, pbc, forces);
-        }
-        for t in &top.torsions {
-            e.torsion += bonded::torsion_energy_force(t, pos, pbc, forces);
-        }
-        for r in &self.restraints {
-            if let Some(d) = top.dihedral(&r.dihedral) {
-                e.restraint += r.energy_force(d.atoms, pos, pbc, forces);
-            }
-        }
-
-        let (lj, coul) = self.nonbonded_parallel(system, forces);
-        e.lj = lj;
-        e.coulomb = coul;
-        e
-    }
-
-    /// Energy-only evaluation (single-point energy, used by exchange phases).
-    pub fn energy(&self, system: &System) -> EnergyBreakdown {
-        let mut scratch = vec![Vec3::ZERO; system.n_atoms()];
-        self.energy_forces(system, &mut scratch)
-    }
-
-    /// Atoms with pH-adjusted effective charges, when the topology has
-    /// titratable sites (pH-REMD); `None` means the base atoms apply.
-    fn ph_adjusted_atoms(&self, system: &System) -> Option<Vec<crate::topology::Atom>> {
-        let top = &system.topology;
-        if top.titratable.is_empty() {
-            return None;
-        }
-        let mut atoms = top.atoms.clone();
-        for site in &top.titratable {
-            atoms[site.atom as usize].charge += site.charge_shift(self.nonbonded.ph);
-        }
-        Some(atoms)
-    }
-
-    fn candidate_pairs(&self, system: &System) -> Vec<(u32, u32)> {
-        let n = system.n_atoms();
-        if n >= CELL_LIST_THRESHOLD {
-            CellList::build(&system.state.positions, &system.pbc, self.nonbonded.cutoff).pairs()
-        } else {
-            all_pairs(n).collect()
-        }
-    }
-
-    fn nonbonded_serial(&self, system: &System, forces: &mut [Vec3]) -> (f64, f64) {
-        let pos = &system.state.positions;
-        let pbc = &system.pbc;
-        let top = &system.topology;
-        let adjusted = self.ph_adjusted_atoms(system);
-        let atoms: &[crate::topology::Atom] = adjusted.as_deref().unwrap_or(&top.atoms);
         let mut lj = 0.0;
         let mut coul = 0.0;
-        for (i, j) in self.candidate_pairs(system) {
-            if top.is_excluded(i, j) {
-                continue;
-            }
+        for &(i, j) in ctx.neighbors.pairs() {
             let (iu, ju) = (i as usize, j as usize);
             let d = pbc.min_image(pos[iu], pos[ju]);
             let r2 = d.norm_sq();
-            let ai = &atoms[iu];
-            let aj = &atoms[ju];
-            let (e_pair, f_over_r) = nonbonded::pair_energy_force(ai, aj, r2, &self.nonbonded);
-            // Split the pair energy by whether charges participate; for the
-            // breakdown we attribute the whole pair via a second evaluation
-            // with charges zeroed, which would double cost. Instead track the
-            // LJ part analytically: recompute the LJ-only energy.
-            let lj_only = lj_pair_energy(ai, aj, r2, self.nonbonded.cutoff);
-            lj += lj_only;
-            coul += e_pair - lj_only;
+            let (e_lj, e_coul, f_over_r) =
+                table.pair_eval(&sc, ctx.charges[iu], ctx.charges[ju], iu, ju, r2);
+            lj += e_lj;
+            coul += e_coul;
             let f = d * f_over_r;
             forces[iu] += f;
             forces[ju] -= f;
         }
-        (lj, coul)
+        e.lj = lj;
+        e.coulomb = coul;
+        e
     }
 
-    fn nonbonded_parallel(&self, system: &System, forces: &mut [Vec3]) -> (f64, f64) {
+    /// Parallel evaluation through a persistent context, using Rayon for the
+    /// nonbonded loop (the dominant cost). Bonded terms stay serial: they
+    /// are O(N) with tiny constants. Chunk results are merged serially in
+    /// chunk order, so the result is deterministic for a given thread-pool
+    /// size.
+    pub fn energy_forces_par_ctx(
+        &self,
+        system: &System,
+        ctx: &mut EvalContext,
+        forces: &mut [Vec3],
+    ) -> EnergyBreakdown {
+        assert_eq!(forces.len(), system.n_atoms());
+        forces.fill(Vec3::ZERO);
+        let mut e = self.bonded_energy_forces(system, forces);
+        ctx.prepare(self, system);
+        let sc = NbScalars::new(&self.nonbonded);
         let pos = &system.state.positions;
         let pbc = system.pbc;
-        let top = &system.topology;
         let n = system.n_atoms();
-        let pairs = self.candidate_pairs(system);
-        let params = self.nonbonded;
-        let adjusted = self.ph_adjusted_atoms(system);
-        let atoms_ref: &[crate::topology::Atom] = adjusted.as_deref().unwrap_or(&top.atoms);
-        let chunk = (pairs.len() / (rayon::current_num_threads() * 4)).max(1024);
 
-        // Each Rayon task owns a private force buffer; buffers are merged in
-        // the reduction. This avoids atomics in the hot pair loop.
-        let (lj, coul, partial) = pairs
+        // Disjoint borrows: the pair list and charge buffer are read while
+        // the pooled force buffers are written.
+        let EvalContext { neighbors, lj, charges, par_forces } = ctx;
+        let pairs = neighbors.pairs();
+        let table = lj.as_ref().expect("prepared");
+        let charges: &[f64] = charges;
+
+        let chunk = (pairs.len() / (rayon::current_num_threads() * 4)).max(1024);
+        let n_chunks = pairs.len().div_ceil(chunk);
+        if par_forces.len() < n_chunks {
+            par_forces.resize_with(n_chunks, Vec::new);
+        }
+        for buf in par_forces.iter_mut().take(n_chunks) {
+            buf.resize(n, Vec3::ZERO);
+            buf.fill(Vec3::ZERO);
+        }
+
+        // Each Rayon task owns a pooled force buffer; no per-chunk O(N)
+        // allocation and no atomics in the hot pair loop.
+        let sums: Vec<(f64, f64)> = pairs
             .par_chunks(chunk)
-            .map(|chunk_pairs| {
-                let mut local = vec![Vec3::ZERO; n];
+            .zip(par_forces[..n_chunks].par_iter_mut())
+            .map(|(chunk_pairs, local)| {
                 let mut lj = 0.0;
                 let mut coul = 0.0;
                 for &(i, j) in chunk_pairs {
-                    if top.is_excluded(i, j) {
-                        continue;
-                    }
                     let (iu, ju) = (i as usize, j as usize);
                     let d = pbc.min_image(pos[iu], pos[ju]);
                     let r2 = d.norm_sq();
-                    let ai = &atoms_ref[iu];
-                    let aj = &atoms_ref[ju];
-                    let (e_pair, f_over_r) = nonbonded::pair_energy_force(ai, aj, r2, &params);
-                    let lj_only = lj_pair_energy(ai, aj, r2, params.cutoff);
-                    lj += lj_only;
-                    coul += e_pair - lj_only;
+                    let (e_lj, e_coul, f_over_r) =
+                        table.pair_eval(&sc, charges[iu], charges[ju], iu, ju, r2);
+                    lj += e_lj;
+                    coul += e_coul;
                     let f = d * f_over_r;
                     local[iu] += f;
                     local[ju] -= f;
                 }
-                (lj, coul, local)
+                (lj, coul)
             })
-            .reduce(
-                || (0.0, 0.0, vec![Vec3::ZERO; n]),
-                |(la, ca, mut fa), (lb, cb, fb)| {
-                    for (a, b) in fa.iter_mut().zip(&fb) {
-                        *a += *b;
-                    }
-                    (la + lb, ca + cb, fa)
-                },
-            );
-        for (f, p) in forces.iter_mut().zip(&partial) {
-            *f += *p;
+            .collect();
+        let mut lj = 0.0;
+        let mut coul = 0.0;
+        for &(l, c) in &sums {
+            lj += l;
+            coul += c;
         }
-        (lj, coul)
+        for local in &par_forces[..n_chunks] {
+            for (f, p) in forces.iter_mut().zip(local) {
+                *f += *p;
+            }
+        }
+        e.lj = lj;
+        e.coulomb = coul;
+        e
     }
-}
 
-/// LJ-only part of the shifted pair energy, for the breakdown bookkeeping.
-#[inline]
-fn lj_pair_energy(ai: &crate::topology::Atom, aj: &crate::topology::Atom, r2: f64, rc: f64) -> f64 {
-    if r2 >= rc * rc || r2 < 1e-12 {
-        return 0.0;
+    /// Energy-only evaluation through a persistent context: no force
+    /// accumulation anywhere (single-point energies for exchange phases).
+    pub fn energy_ctx(&self, system: &System, ctx: &mut EvalContext) -> EnergyBreakdown {
+        let mut e = self.bonded_energy(system);
+        ctx.prepare(self, system);
+        let sc = NbScalars::new(&self.nonbonded);
+        let table = ctx.lj.as_ref().expect("prepared");
+        let pos = &system.state.positions;
+        let pbc = &system.pbc;
+        let mut lj = 0.0;
+        let mut coul = 0.0;
+        for &(i, j) in ctx.neighbors.pairs() {
+            let (iu, ju) = (i as usize, j as usize);
+            let d = pbc.min_image(pos[iu], pos[ju]);
+            let r2 = d.norm_sq();
+            let (e_lj, e_coul, _) =
+                table.pair_eval(&sc, ctx.charges[iu], ctx.charges[ju], iu, ju, r2);
+            lj += e_lj;
+            coul += e_coul;
+        }
+        e.lj = lj;
+        e.coulomb = coul;
+        e
     }
-    let eps = (ai.lj_epsilon * aj.lj_epsilon).sqrt();
-    if eps <= 0.0 {
-        return 0.0;
+
+    /// Parallel energy-only evaluation: scalar-only Rayon reduction over the
+    /// cached pair list, merged deterministically in chunk order.
+    pub fn energy_par_ctx(&self, system: &System, ctx: &mut EvalContext) -> EnergyBreakdown {
+        let mut e = self.bonded_energy(system);
+        ctx.prepare(self, system);
+        let sc = NbScalars::new(&self.nonbonded);
+        let table = ctx.lj.as_ref().expect("prepared");
+        let charges: &[f64] = &ctx.charges;
+        let pos = &system.state.positions;
+        let pbc = system.pbc;
+        let pairs = ctx.neighbors.pairs();
+        let chunk = (pairs.len() / (rayon::current_num_threads() * 4)).max(1024);
+        let sums: Vec<(f64, f64)> = pairs
+            .par_chunks(chunk)
+            .map(|chunk_pairs| {
+                let mut lj = 0.0;
+                let mut coul = 0.0;
+                for &(i, j) in chunk_pairs {
+                    let (iu, ju) = (i as usize, j as usize);
+                    let d = pbc.min_image(pos[iu], pos[ju]);
+                    let r2 = d.norm_sq();
+                    let (e_lj, e_coul, _) =
+                        table.pair_eval(&sc, charges[iu], charges[ju], iu, ju, r2);
+                    lj += e_lj;
+                    coul += e_coul;
+                }
+                (lj, coul)
+            })
+            .collect();
+        let mut lj = 0.0;
+        let mut coul = 0.0;
+        for &(l, c) in &sums {
+            lj += l;
+            coul += c;
+        }
+        e.lj = lj;
+        e.coulomb = coul;
+        e
     }
-    let sigma = 0.5 * (ai.lj_sigma + aj.lj_sigma);
-    let sr2 = (sigma * sigma) / r2;
-    let sr6 = sr2 * sr2 * sr2;
-    let src2 = (sigma * sigma) / (rc * rc);
-    let src6 = src2 * src2 * src2;
-    4.0 * eps * (sr6 * sr6 - sr6) - 4.0 * eps * (src6 * src6 - src6)
+
+    /// Serial evaluation with a throwaway context (one-shot calls, tests).
+    pub fn energy_forces(&self, system: &System, forces: &mut [Vec3]) -> EnergyBreakdown {
+        self.energy_forces_ctx(system, &mut EvalContext::new(), forces)
+    }
+
+    /// Parallel evaluation with a throwaway context.
+    pub fn energy_forces_par(&self, system: &System, forces: &mut [Vec3]) -> EnergyBreakdown {
+        self.energy_forces_par_ctx(system, &mut EvalContext::new(), forces)
+    }
+
+    /// Energy-only evaluation with a throwaway context (single-point energy;
+    /// skips force accumulation entirely).
+    pub fn energy(&self, system: &System) -> EnergyBreakdown {
+        self.energy_ctx(system, &mut EvalContext::new())
+    }
+
+    /// Bonded terms + restraints with force accumulation; returns a
+    /// breakdown with the nonbonded channels still zero.
+    fn bonded_energy_forces(&self, system: &System, forces: &mut [Vec3]) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        let pos = &system.state.positions;
+        let pbc = &system.pbc;
+        let top = &system.topology;
+        for b in &top.bonds {
+            e.bond += bonded::bond_energy_force(b, pos, pbc, forces);
+        }
+        for a in &top.angles {
+            e.angle += bonded::angle_energy_force(a, pos, pbc, forces);
+        }
+        for t in &top.torsions {
+            e.torsion += bonded::torsion_energy_force(t, pos, pbc, forces);
+        }
+        for r in &self.restraints {
+            if let Some(d) = top.dihedral(&r.dihedral) {
+                e.restraint += r.energy_force(d.atoms, pos, pbc, forces);
+            }
+        }
+        e
+    }
+
+    /// Bonded terms + restraints, energy only.
+    fn bonded_energy(&self, system: &System) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        let pos = &system.state.positions;
+        let pbc = &system.pbc;
+        let top = &system.topology;
+        for b in &top.bonds {
+            e.bond += bonded::bond_energy(b, pos, pbc);
+        }
+        for a in &top.angles {
+            e.angle += bonded::angle_energy(a, pos, pbc);
+        }
+        for t in &top.torsions {
+            e.torsion += bonded::torsion_energy(t, pos, pbc);
+        }
+        for r in &self.restraints {
+            if let Some(d) = top.dihedral(&r.dihedral) {
+                e.restraint += r.energy(d.atoms, pos, pbc);
+            }
+        }
+        e
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::neighbor::all_pairs;
     use crate::system::{PbcBox, State};
-    use crate::topology::{Angle, Atom, Bond, NamedDihedral, Topology, Torsion};
+    use crate::topology::{Angle, Atom, Bond, NamedDihedral, Titratable, Topology, Torsion};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// LJ-only shifted pair energy, as an independent reference for the
+    /// kernel's split (the production path gets it from one evaluation).
+    fn lj_pair_energy(ai: &Atom, aj: &Atom, r2: f64, rc: f64) -> f64 {
+        if r2 >= rc * rc || r2 < 1e-12 {
+            return 0.0;
+        }
+        let eps = (ai.lj_epsilon * aj.lj_epsilon).sqrt();
+        if eps <= 0.0 {
+            return 0.0;
+        }
+        let sigma = 0.5 * (ai.lj_sigma + aj.lj_sigma);
+        let sr2 = (sigma * sigma) / r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let src2 = (sigma * sigma) / (rc * rc);
+        let src6 = src2 * src2 * src2;
+        4.0 * eps * (sr6 * sr6 - sr6) - 4.0 * eps * (src6 * src6 - src6)
+    }
 
     /// A small but fully-featured system: a 4-atom chain with bonds, an
     /// angle, a torsion, a named dihedral and a few charged LJ particles.
@@ -318,7 +450,12 @@ mod tests {
             );
         }
         let sys = System::new(top, PbcBox::VACUUM, state).unwrap();
-        let mut ff = ForceField::new(NonbondedParams { cutoff: 10.0, dielectric: 4.0, salt_molar: 0.15, ph: 7.0 });
+        let mut ff = ForceField::new(NonbondedParams {
+            cutoff: 10.0,
+            dielectric: 4.0,
+            salt_molar: 0.15,
+            ph: 7.0,
+        });
         ff.set_restraints(vec![DihedralRestraint::new("phi", 0.02, 60.0)]);
         (sys, ff)
     }
@@ -405,7 +542,12 @@ mod tests {
         let mut state = State::zeros(2);
         state.positions[1] = Vec3::new(1.0, 0.0, 0.0);
         let sys = System::new(top, PbcBox::VACUUM, state).unwrap();
-        let ff = ForceField::new(NonbondedParams { cutoff: 10.0, dielectric: 1.0, salt_molar: 0.0, ph: 7.0 });
+        let ff = ForceField::new(NonbondedParams {
+            cutoff: 10.0,
+            dielectric: 1.0,
+            salt_molar: 0.0,
+            ph: 7.0,
+        });
         let e = ff.energy(&sys);
         assert_eq!(e.coulomb, 0.0, "bonded pair must be excluded");
         assert_eq!(e.lj, 0.0);
@@ -431,11 +573,69 @@ mod tests {
     }
 
     #[test]
-    fn large_system_uses_cell_list_and_matches() {
-        // Cross the CELL_LIST_THRESHOLD and verify against direct O(N^2).
-        let mut rng = StdRng::seed_from_u64(9);
-        let n = 500;
-        let l = 24.0;
+    fn energy_only_matches_energy_forces() {
+        let (sys, ff) = rich_system(7);
+        let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+        let with_forces = ff.energy_forces(&sys, &mut forces);
+        let energy_only = ff.energy(&sys);
+        let mut ctx = EvalContext::new();
+        let par_energy_only = ff.energy_par_ctx(&sys, &mut ctx);
+        assert!((with_forces.total() - energy_only.total()).abs() < 1e-12);
+        assert_eq!(with_forces, energy_only, "energy-only path must agree exactly");
+        assert!((with_forces.total() - par_energy_only.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ctx_reuse_matches_throwaway() {
+        // One persistent context across several evaluations with drifting
+        // coordinates must match fresh-context evaluations each time.
+        let (mut sys, ff) = rich_system(8);
+        let mut ctx = EvalContext::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let mut f_ctx = vec![Vec3::ZERO; sys.n_atoms()];
+            let mut f_fresh = vec![Vec3::ZERO; sys.n_atoms()];
+            let e_ctx = ff.energy_forces_ctx(&sys, &mut ctx, &mut f_ctx);
+            let e_fresh = ff.energy_forces(&sys, &mut f_fresh);
+            assert!((e_ctx.total() - e_fresh.total()).abs() < 1e-9);
+            for (a, b) in f_ctx.iter().zip(&f_fresh) {
+                assert!((*a - *b).norm() < 1e-9);
+            }
+            for p in &mut sys.state.positions {
+                *p += Vec3::new(
+                    rng.gen::<f64>() * 0.1 - 0.05,
+                    rng.gen::<f64>() * 0.1 - 0.05,
+                    rng.gen::<f64>() * 0.1 - 0.05,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn titratable_charges_respond_to_ph() {
+        let (mut sys, mut ff) = rich_system(10);
+        sys.topology.titratable = vec![Titratable { atom: 2, pka: 6.5, proton_charge: 1.0 }];
+        ff.nonbonded.ph = 4.0; // well below pKa: site nearly fully protonated
+        let acidic = ff.energy(&sys).coulomb;
+        ff.nonbonded.ph = 10.0; // well above: deprotonated
+        let basic = ff.energy(&sys).coulomb;
+        assert!(
+            (acidic - basic).abs() > 1e-6,
+            "pH must change the Coulomb energy: {acidic} vs {basic}"
+        );
+        // The ctx path sees the pH change even when the context is reused.
+        let mut ctx = EvalContext::new();
+        ff.nonbonded.ph = 4.0;
+        let acidic_ctx = ff.energy_ctx(&sys, &mut ctx).coulomb;
+        ff.nonbonded.ph = 10.0;
+        let basic_ctx = ff.energy_ctx(&sys, &mut ctx).coulomb;
+        assert!((acidic - acidic_ctx).abs() < 1e-12);
+        assert!((basic - basic_ctx).abs() < 1e-12);
+    }
+
+    /// A 500-atom LJ fluid in a periodic box: crosses CELL_LIST_THRESHOLD.
+    fn lj_fluid(n: usize, l: f64, seed: u64) -> System {
+        let mut rng = StdRng::seed_from_u64(seed);
         let top = Topology {
             atoms: vec![Atom { mass: 18.0, charge: 0.0, lj_epsilon: 0.15, lj_sigma: 3.15 }; n],
             ..Default::default()
@@ -444,13 +644,51 @@ mod tests {
         for p in &mut state.positions {
             *p = Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l);
         }
-        let sys = System::new(top, PbcBox::cubic(l), state).unwrap();
-        let ff = ForceField::new(NonbondedParams { cutoff: 6.0, dielectric: 1.0, salt_molar: 0.0, ph: 7.0 });
+        System::new(top, PbcBox::cubic(l), state).unwrap()
+    }
+
+    #[test]
+    fn exchange_batch_reuses_pair_list() {
+        // The S-exchange shape: repeated single-point energies on identical
+        // coordinates under different salt concentrations. With one shared
+        // context the pair list is built once and reused for the rest.
+        let sys = lj_fluid(500, 24.0, 12);
+        let mut ctx = EvalContext::new();
+        for salt in [0.0, 0.15, 0.5, 2.0] {
+            let ff = ForceField::new(NonbondedParams {
+                cutoff: 6.0,
+                dielectric: 1.0,
+                salt_molar: salt,
+                ph: 7.0,
+            });
+            ff.energy_ctx(&sys, &mut ctx);
+        }
+        assert_eq!(ctx.neighbors.rebuilds(), 1, "one build for the whole batch");
+        assert_eq!(ctx.neighbors.reuses(), 3);
+    }
+
+    #[test]
+    fn large_system_uses_cell_list_and_matches() {
+        // Cross the CELL_LIST_THRESHOLD and verify against direct O(N^2).
+        let sys = lj_fluid(500, 24.0, 9);
+        let n = 500;
+        let ff = ForceField::new(NonbondedParams {
+            cutoff: 6.0,
+            dielectric: 1.0,
+            salt_molar: 0.0,
+            ph: 7.0,
+        });
         // Direct evaluation (bypass the threshold by scanning all pairs).
         let mut direct = 0.0;
         for (i, j) in all_pairs(n) {
-            let d = sys.pbc.min_image(sys.state.positions[i as usize], sys.state.positions[j as usize]);
-            direct += lj_pair_energy(&sys.topology.atoms[i as usize], &sys.topology.atoms[j as usize], d.norm_sq(), 6.0);
+            let d =
+                sys.pbc.min_image(sys.state.positions[i as usize], sys.state.positions[j as usize]);
+            direct += lj_pair_energy(
+                &sys.topology.atoms[i as usize],
+                &sys.topology.atoms[j as usize],
+                d.norm_sq(),
+                6.0,
+            );
         }
         let e = ff.energy(&sys);
         assert!((e.lj - direct).abs() < 1e-6 * direct.abs().max(1.0), "{} vs {direct}", e.lj);

@@ -37,6 +37,24 @@ impl DihedralRestraint {
         self.k_deg * d * d
     }
 
+    /// Energy contribution over explicit atom indices, without force
+    /// accumulation (single-point path). Bitwise-identical to the energy
+    /// returned by [`DihedralRestraint::energy_force`].
+    pub fn energy(&self, atoms: [u32; 4], positions: &[Vec3], pbc: &PbcBox) -> f64 {
+        let idx = [atoms[0] as usize, atoms[1] as usize, atoms[2] as usize, atoms[3] as usize];
+        let Some((phi, ..)) = dihedral_geometry(
+            positions[idx[0]],
+            positions[idx[1]],
+            positions[idx[2]],
+            positions[idx[3]],
+            pbc,
+        ) else {
+            return 0.0;
+        };
+        let d_deg = angle_diff_deg(rad_to_deg(phi), self.center_deg);
+        self.k_deg * d_deg * d_deg
+    }
+
     /// Energy and force contribution over explicit atom indices.
     pub fn energy_force(
         &self,
@@ -46,9 +64,13 @@ impl DihedralRestraint {
         forces: &mut [Vec3],
     ) -> f64 {
         let idx = [atoms[0] as usize, atoms[1] as usize, atoms[2] as usize, atoms[3] as usize];
-        let Some((phi, b1, b2, b3, n1, n2)) =
-            dihedral_geometry(positions[idx[0]], positions[idx[1]], positions[idx[2]], positions[idx[3]], pbc)
-        else {
+        let Some((phi, b1, b2, b3, n1, n2)) = dihedral_geometry(
+            positions[idx[0]],
+            positions[idx[1]],
+            positions[idx[2]],
+            positions[idx[3]],
+            pbc,
+        ) else {
             return 0.0;
         };
         let d_deg = angle_diff_deg(rad_to_deg(phi), self.center_deg);

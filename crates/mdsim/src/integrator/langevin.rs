@@ -6,7 +6,7 @@
 //! ps⁻¹ (Amber's `gamma_ln` convention).
 
 use super::{EvalMode, Integrator};
-use crate::forcefield::{EnergyBreakdown, ForceField};
+use crate::forcefield::{EnergyBreakdown, EvalContext, ForceField};
 use crate::system::System;
 use crate::units::{kbt, AKMA_PER_PS};
 use crate::vec3::Vec3;
@@ -23,6 +23,8 @@ pub struct LangevinBaoab {
     pub gamma_ps: f64,
     forces: Vec<Vec3>,
     forces_valid: bool,
+    /// Persistent evaluation state (Verlet list, scratch buffers).
+    ctx: EvalContext,
 }
 
 impl LangevinBaoab {
@@ -35,6 +37,7 @@ impl LangevinBaoab {
             gamma_ps,
             forces: Vec::new(),
             forces_valid: false,
+            ctx: EvalContext::new(),
         }
     }
 
@@ -60,7 +63,7 @@ impl Integrator for LangevinBaoab {
             self.forces_valid = false;
         }
         if !self.forces_valid {
-            mode.energy_forces(ff, system, &mut self.forces);
+            mode.energy_forces(ff, system, &mut self.ctx, &mut self.forces);
         }
         let dt = self.dt;
         let gamma = self.gamma_ps / AKMA_PER_PS; // per AKMA time unit
@@ -95,7 +98,7 @@ impl Integrator for LangevinBaoab {
             system.state.positions[i] += v * (0.5 * dt);
         }
         // B: half kick with new forces.
-        let breakdown = mode.energy_forces(ff, system, &mut self.forces);
+        let breakdown = mode.energy_forces(ff, system, &mut self.ctx, &mut self.forces);
         for i in 0..n {
             let inv_m = 1.0 / system.topology.atoms[i].mass;
             system.state.velocities[i] += self.forces[i] * (0.5 * dt * inv_m);
@@ -112,6 +115,7 @@ impl Integrator for LangevinBaoab {
 
     fn invalidate(&mut self) {
         self.forces_valid = false;
+        self.ctx.invalidate();
     }
 }
 
@@ -143,10 +147,7 @@ mod tests {
             acc += sys.instantaneous_temperature();
         }
         let mean_t = acc / samples as f64;
-        assert!(
-            (mean_t - target).abs() < 0.08 * target,
-            "mean T {mean_t} K, target {target} K"
-        );
+        assert!((mean_t - target).abs() < 0.08 * target, "mean T {mean_t} K, target {target} K");
     }
 
     #[test]
@@ -185,6 +186,49 @@ mod tests {
         }
         let mean_t = acc / 2000.0;
         assert!(mean_t > 300.0, "after retargeting to 400 K, mean T = {mean_t}");
+    }
+
+    #[test]
+    fn cached_neighbor_path_matches_fresh_over_100_step_run() {
+        // Regression for the Verlet-skin cache: drive a 100-step Langevin
+        // trajectory on a system large enough to use the cell-list path, and
+        // at every step compare a persistent skin-cached context against a
+        // fresh-build context (skin 0 rebuilds on any coordinate change) on
+        // the same coordinates. Energies and every force component must
+        // agree within 1e-9.
+        let mut sys = lj_lattice(8, 4.2); // 512 atoms: cell-list + Verlet path
+        let ff = ForceField::default();
+        let mut integ = LangevinBaoab::new(0.002, 120.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        sys.assign_maxwell_boltzmann(120.0, &mut rng);
+
+        let n = sys.n_atoms();
+        let mut cached = EvalContext::new();
+        let mut f_cached = vec![Vec3::ZERO; n];
+        let mut f_fresh = vec![Vec3::ZERO; n];
+        for step in 0..100 {
+            integ.step(&mut sys, &ff, EvalMode::Serial, &mut rng);
+            let e_cached = ff.energy_forces_ctx(&sys, &mut cached, &mut f_cached);
+            let e_fresh =
+                ff.energy_forces_ctx(&sys, &mut EvalContext::with_skin(0.0), &mut f_fresh);
+            assert!(
+                (e_cached.total() - e_fresh.total()).abs() < 1e-9,
+                "step {step}: total {} vs {}",
+                e_cached.total(),
+                e_fresh.total()
+            );
+            assert!((e_cached.lj - e_fresh.lj).abs() < 1e-9, "step {step} lj");
+            assert!((e_cached.coulomb - e_fresh.coulomb).abs() < 1e-9, "step {step} coulomb");
+            for (a, b) in f_cached.iter().zip(&f_fresh) {
+                assert!((*a - *b).norm() < 1e-9, "step {step}: force {a:?} vs {b:?}");
+            }
+        }
+        assert!(
+            cached.neighbors.reuses() > cached.neighbors.rebuilds(),
+            "the skin cache must mostly reuse: {} rebuilds, {} reuses",
+            cached.neighbors.rebuilds(),
+            cached.neighbors.reuses()
+        );
     }
 
     #[test]

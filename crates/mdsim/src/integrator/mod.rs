@@ -6,7 +6,7 @@ mod verlet;
 pub use langevin::LangevinBaoab;
 pub use verlet::VelocityVerlet;
 
-use crate::forcefield::{EnergyBreakdown, ForceField};
+use crate::forcefield::{EnergyBreakdown, EvalContext, ForceField};
 use crate::system::System;
 use crate::vec3::Vec3;
 use rand::RngCore;
@@ -23,18 +23,21 @@ impl EvalMode {
         self,
         ff: &ForceField,
         system: &System,
+        ctx: &mut EvalContext,
         forces: &mut [Vec3],
     ) -> EnergyBreakdown {
         match self {
-            EvalMode::Serial => ff.energy_forces(system, forces),
-            EvalMode::Parallel => ff.energy_forces_par(system, forces),
+            EvalMode::Serial => ff.energy_forces_ctx(system, ctx, forces),
+            EvalMode::Parallel => ff.energy_forces_par_ctx(system, ctx, forces),
         }
     }
 }
 
 /// A propagator advancing a [`System`] one step at a time.
 ///
-/// Integrators own their scratch force buffers so stepping does not allocate.
+/// Integrators own their scratch force buffers and a persistent
+/// [`EvalContext`] (Verlet neighbor list + evaluation scratch), so steady
+/// stepping neither allocates nor rebuilds the pair list.
 pub trait Integrator {
     /// Advance by one step; returns the potential-energy breakdown evaluated
     /// during the step (at the new positions).
@@ -49,8 +52,9 @@ pub trait Integrator {
     /// The time step in ps.
     fn dt_ps(&self) -> f64;
 
-    /// Drop cached forces (call after positions change externally, e.g. when
-    /// a restart file is loaded or an exchange swaps configurations).
+    /// Drop cached forces and evaluation state (call after positions change
+    /// externally, e.g. when a restart file is loaded or an exchange swaps
+    /// configurations).
     fn invalidate(&mut self);
 }
 
@@ -92,10 +96,7 @@ pub(crate) mod testutil {
     /// A small LJ cluster for thermostat tests.
     pub fn lj_lattice(n_side: usize, spacing: f64) -> System {
         let n = n_side * n_side * n_side;
-        let top = Topology {
-            atoms: vec![Atom::lj(40.0, 0.24, 3.4); n],
-            ..Default::default()
-        };
+        let top = Topology { atoms: vec![Atom::lj(40.0, 0.24, 3.4); n], ..Default::default() };
         let mut state = State::zeros(n);
         let mut idx = 0;
         for x in 0..n_side {

@@ -1,7 +1,7 @@
 //! NVE velocity-Verlet integrator.
 
 use super::{EvalMode, Integrator};
-use crate::forcefield::{EnergyBreakdown, ForceField};
+use crate::forcefield::{EnergyBreakdown, EvalContext, ForceField};
 use crate::system::System;
 use crate::units::AKMA_PER_PS;
 use crate::vec3::Vec3;
@@ -15,13 +15,21 @@ pub struct VelocityVerlet {
     forces: Vec<Vec3>,
     /// Whether `forces` corresponds to the current positions.
     forces_valid: bool,
+    /// Persistent evaluation state (Verlet list, scratch buffers).
+    ctx: EvalContext,
 }
 
 impl VelocityVerlet {
     /// `dt_ps` is the time step in picoseconds (typical MD: 0.001-0.002).
     pub fn new(dt_ps: f64) -> Self {
         assert!(dt_ps > 0.0, "time step must be positive");
-        VelocityVerlet { dt_ps, dt: dt_ps * AKMA_PER_PS, forces: Vec::new(), forces_valid: false }
+        VelocityVerlet {
+            dt_ps,
+            dt: dt_ps * AKMA_PER_PS,
+            forces: Vec::new(),
+            forces_valid: false,
+            ctx: EvalContext::new(),
+        }
     }
 }
 
@@ -39,7 +47,7 @@ impl Integrator for VelocityVerlet {
             self.forces_valid = false;
         }
         if !self.forces_valid {
-            mode.energy_forces(ff, system, &mut self.forces);
+            mode.energy_forces(ff, system, &mut self.ctx, &mut self.forces);
         }
         let dt = self.dt;
         // Half kick + drift.
@@ -50,7 +58,7 @@ impl Integrator for VelocityVerlet {
             system.state.positions[i] += v * dt;
         }
         // New forces, second half kick.
-        let breakdown = mode.energy_forces(ff, system, &mut self.forces);
+        let breakdown = mode.energy_forces(ff, system, &mut self.ctx, &mut self.forces);
         for i in 0..n {
             let inv_m = 1.0 / system.topology.atoms[i].mass;
             system.state.velocities[i] += self.forces[i] * (0.5 * dt * inv_m);
@@ -67,6 +75,7 @@ impl Integrator for VelocityVerlet {
 
     fn invalidate(&mut self) {
         self.forces_valid = false;
+        self.ctx.invalidate();
     }
 }
 

@@ -168,7 +168,10 @@ pub fn parse_disang(text: &str) -> Result<Vec<DisangRestraint>, MdinError> {
                         .split(',')
                         .map(|p| p.trim().parse::<u32>())
                         .collect::<Result<_, _>>()
-                        .map_err(|_| MdinError::BadValue { key: key.clone(), value: value.clone() })?;
+                        .map_err(|_| MdinError::BadValue {
+                            key: key.clone(),
+                            value: value.clone(),
+                        })?;
                     if parts.len() != 4 {
                         return Err(MdinError::BadValue { key: key.clone(), value: value.clone() });
                     }

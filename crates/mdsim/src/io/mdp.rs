@@ -99,7 +99,8 @@ impl MdpConfig {
             let key = key.trim().to_ascii_lowercase().replace('_', "-");
             let value = value.trim();
             let parse_f = |v: &str| {
-                v.parse::<f64>().map_err(|_| MdpError(format!("line {}: bad number {v:?}", lineno + 1)))
+                v.parse::<f64>()
+                    .map_err(|_| MdpError(format!("line {}: bad number {v:?}", lineno + 1)))
             };
             match key.as_str() {
                 "integrator" => {
@@ -128,7 +129,9 @@ impl MdpConfig {
                     }
                     cfg.dihres.push((parts[0].to_string(), parse_f(parts[1])?, parse_f(parts[2])?));
                 }
-                other => return Err(MdpError(format!("line {}: unknown key {other:?}", lineno + 1))),
+                other => {
+                    return Err(MdpError(format!("line {}: unknown key {other:?}", lineno + 1)))
+                }
             }
         }
         if cfg.tau_t <= 0.0 {

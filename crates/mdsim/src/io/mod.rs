@@ -1,8 +1,8 @@
 //! File formats staged between framework tasks.
 
 pub mod mdin;
-pub mod mdp;
 pub mod mdinfo;
+pub mod mdp;
 pub mod namdconf;
 pub mod restart;
 pub mod trajectory;

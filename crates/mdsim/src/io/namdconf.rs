@@ -118,10 +118,17 @@ impl NamdConfig {
                             lineno + 1
                         )));
                     }
-                    cfg.restraints.push((rest[0].to_string(), parse_f(rest[1])?, parse_f(rest[2])?));
+                    cfg.restraints.push((
+                        rest[0].to_string(),
+                        parse_f(rest[1])?,
+                        parse_f(rest[2])?,
+                    ));
                 }
                 other => {
-                    return Err(NamdConfError(format!("line {}: unknown keyword {other:?}", lineno + 1)))
+                    return Err(NamdConfError(format!(
+                        "line {}: unknown keyword {other:?}",
+                        lineno + 1
+                    )))
                 }
             }
         }

@@ -24,11 +24,8 @@ impl XyzTrajectory {
     pub fn add_frame(&mut self, system: &System) {
         let n = system.n_atoms();
         let _ = writeln!(self.buffer, "{n}");
-        let _ = writeln!(
-            self.buffer,
-            "step={} time_ps={:.4}",
-            system.state.step, system.state.time_ps
-        );
+        let _ =
+            writeln!(self.buffer, "step={} time_ps={:.4}", system.state.step, system.state.time_ps);
         for (i, p) in system.state.positions.iter().enumerate() {
             // Element label: carbon for backbone atoms, oxygen for solvent
             // (cosmetic; downstream tools only need consistency).
@@ -69,8 +66,7 @@ pub fn parse_xyz(text: &str) -> Result<Vec<XyzFrame>, String> {
         if count_line.is_empty() {
             continue;
         }
-        let n: usize =
-            count_line.parse().map_err(|_| format!("bad atom count {count_line:?}"))?;
+        let n: usize = count_line.parse().map_err(|_| format!("bad atom count {count_line:?}"))?;
         let comment = lines.next().ok_or("missing comment line")?;
         let mut step = 0u64;
         let mut time_ps = 0.0f64;
@@ -133,9 +129,7 @@ mod tests {
         let mut traj = XyzTrajectory::new();
         traj.add_frame(&sys);
         for _ in 0..3 {
-            engine
-                .run(&mut sys, &MdJob { steps: 50, ..Default::default() })
-                .unwrap();
+            engine.run(&mut sys, &MdJob { steps: 50, ..Default::default() }).unwrap();
             traj.add_frame(&sys);
         }
         let frames = parse_xyz(traj.as_text()).unwrap();

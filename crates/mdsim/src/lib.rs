@@ -41,8 +41,11 @@ pub mod topology;
 pub mod units;
 pub mod vec3;
 
-pub use engine::{MdEngine, MdJob, MdOutput};
-pub use forcefield::{DihedralRestraint, EnergyBreakdown, ForceField, NonbondedParams};
+pub use engine::{MdEngine, MdJob, MdOutput, SinglePointRequest};
+pub use forcefield::{
+    DihedralRestraint, EnergyBreakdown, EvalContext, ForceField, NonbondedParams,
+};
+pub use neighbor::NeighborCache;
 pub use system::{PbcBox, State, System};
 pub use topology::Topology;
 pub use vec3::Vec3;

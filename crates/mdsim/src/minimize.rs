@@ -6,7 +6,7 @@
 //! expose this through [`crate::engine`]'s job preparation, and model
 //! builders use it to relax solvated systems before dynamics.
 
-use crate::forcefield::ForceField;
+use crate::forcefield::{EvalContext, ForceField};
 use crate::system::System;
 use crate::vec3::Vec3;
 
@@ -37,8 +37,10 @@ pub fn minimize(
     f_tol: f64,
 ) -> MinimizeResult {
     let n = system.n_atoms();
+    let mut ctx = EvalContext::new();
     let mut forces = vec![Vec3::ZERO; n];
-    let mut e = ff.energy_forces(system, &mut forces).total();
+    let mut trial_forces = vec![Vec3::ZERO; n];
+    let mut e = ff.energy_forces_ctx(system, &mut ctx, &mut forces).total();
     let initial_energy = e;
     let mut step: f64 = 1e-4; // Å per unit force, adapted by the line search
     let mut iterations = 0;
@@ -57,12 +59,11 @@ pub fn minimize(
         for (p, f) in system.state.positions.iter_mut().zip(&forces) {
             *p += *f * scale;
         }
-        let mut trial_forces = vec![Vec3::ZERO; n];
-        let e_new = ff.energy_forces(system, &mut trial_forces).total();
+        let e_new = ff.energy_forces_ctx(system, &mut ctx, &mut trial_forces).total();
         if e_new < e {
             // Accept and be slightly more ambitious next time.
             e = e_new;
-            forces = trial_forces;
+            std::mem::swap(&mut forces, &mut trial_forces);
             rms = rms_force(&forces);
             step *= 1.2;
         } else {

@@ -231,10 +231,7 @@ mod tests {
             .collect();
         assert!(phi_terms.len() >= 2);
         let energy_at = |phi: f64| -> f64 {
-            phi_terms
-                .iter()
-                .map(|t| t.k * (1.0 + (t.n as f64 * phi - t.delta).cos()))
-                .sum()
+            phi_terms.iter().map(|t| t.k * (1.0 + (t.n as f64 * phi - t.delta).cos())).sum()
         };
         let samples: Vec<f64> =
             (0..72).map(|i| energy_at(i as f64 * 5.0_f64.to_radians())).collect();

@@ -1,19 +1,39 @@
 //! Neighbor search for the nonbonded loop.
 //!
-//! Two strategies:
+//! Three strategies:
 //!
 //! * [`all_pairs`] — O(N²) half loop, exact, used for small systems and as a
 //!   reference in tests.
-//! * [`CellList`] — O(N) linked-cell search, used by the engines when the
-//!   atom count makes the quadratic loop too slow. For periodic boxes the
-//!   cells tile the box; in vacuum the bounding box of the coordinates is
-//!   used.
+//! * [`CellList`] — O(N) linked-cell search, used when the atom count makes
+//!   the quadratic loop too slow. For periodic boxes the cells tile the box;
+//!   in vacuum the bounding box of the coordinates is used.
+//! * [`NeighborCache`] — a persistent Verlet list built from the cell list
+//!   with a skin margin, reused across MD steps until an atom has moved far
+//!   enough to invalidate it. This is what the evaluation context of
+//!   [`crate::forcefield::EvalContext`] holds.
 //!
-//! Both produce candidate pairs with `i < j` whose separation may exceed the
-//! cutoff slightly (the nonbonded kernel re-checks `r² < rc²`).
+//! `all_pairs` and `CellList` produce candidate pairs with `i < j` whose
+//! separation may exceed the cutoff slightly (the nonbonded kernel re-checks
+//! `r² < rc²`). The `NeighborCache` additionally pre-filters topology
+//! exclusions and pairs beyond `cutoff + skin`.
 
-use crate::system::PbcBox;
+use crate::system::{PbcBox, System};
 use crate::vec3::Vec3;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atom count above which the cell list beats the O(N²) loop. Small systems
+/// (the reduced dipeptide) are faster without the list.
+pub const CELL_LIST_THRESHOLD: usize = 400;
+
+/// Process-wide count of [`CellList::build`] calls. Diagnostics only: lets
+/// tests and benches assert that cached evaluation paths do not rebuild the
+/// cell list (e.g. one build per S-exchange single-point batch).
+static CELL_LIST_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of cell-list builds performed by this process so far.
+pub fn cell_list_builds() -> u64 {
+    CELL_LIST_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Generate all unique pairs `i < j`.
 pub fn all_pairs(n: usize) -> impl Iterator<Item = (u32, u32)> {
@@ -83,6 +103,7 @@ impl CellList {
             list.next[idx] = list.heads[flat];
             list.heads[flat] = idx as u32;
         }
+        CELL_LIST_BUILDS.fetch_add(1, Ordering::Relaxed);
         list
     }
 
@@ -108,7 +129,16 @@ impl CellList {
     /// Collect candidate pairs (`i < j`) from each cell and its half-shell of
     /// neighbor cells.
     pub fn pairs(&self) -> Vec<(u32, u32)> {
-        let mut out = Vec::with_capacity(self.next.len() * 16);
+        let mut out = Vec::new();
+        self.pairs_into(&mut out);
+        out
+    }
+
+    /// Like [`CellList::pairs`], but reuses a caller-provided buffer so
+    /// steady-state rebuilds do not allocate. The buffer is cleared first;
+    /// its capacity (grown on earlier builds) is retained.
+    pub fn pairs_into(&self, out: &mut Vec<(u32, u32)>) {
+        out.clear();
         let (nx, ny, nz) = (self.dims[0] as isize, self.dims[1] as isize, self.dims[2] as isize);
         for cz in 0..nz {
             for cy in 0..ny {
@@ -159,7 +189,6 @@ impl CellList {
             out.sort_unstable();
             out.dedup();
         }
-        out
     }
 
     /// Number of cells (for diagnostics).
@@ -174,6 +203,167 @@ fn ordered(a: u32, b: u32) -> (u32, u32) {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+/// A persistent Verlet neighbor list with a skin margin.
+///
+/// The list is built from the [`CellList`] with reach `cutoff + skin`,
+/// pre-filtered to drop topology exclusions and pairs beyond the reach. It
+/// stays valid until some atom has moved more than `skin / 2` from its
+/// position at build time: two atoms approaching each other can then close
+/// at most `skin`, so no pair outside the reach at build time can come
+/// within the cutoff before a rebuild. Rebuild checks are O(N) per
+/// evaluation instead of the O(N + pairs) full rebuild.
+///
+/// Systems below [`CELL_LIST_THRESHOLD`] atoms get an exclusion-filtered
+/// all-pairs list instead; that list is position-independent and never needs
+/// a rebuild.
+///
+/// A cache must not be shared between different systems: it keys its
+/// validity on atom count, box and displacement only (the topology is
+/// assumed immutable for the cache's lifetime, which holds for any one
+/// [`System`]).
+#[derive(Debug, Clone)]
+pub struct NeighborCache {
+    skin: f64,
+    cutoff: f64,
+    n_atoms: usize,
+    pbc: PbcBox,
+    /// Exclusion-filtered pairs within `cutoff + skin` at build time.
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time (displacement reference).
+    ref_positions: Vec<Vec3>,
+    /// Whether `pairs` is a position-independent all-pairs list.
+    all_pairs_list: bool,
+    valid: bool,
+    /// Scratch buffer for raw cell-list candidates, reused across rebuilds.
+    candidates: Vec<(u32, u32)>,
+    rebuilds: u64,
+    reuses: u64,
+}
+
+impl Default for NeighborCache {
+    fn default() -> Self {
+        NeighborCache::new(NeighborCache::DEFAULT_SKIN)
+    }
+}
+
+impl NeighborCache {
+    /// Default Verlet skin width in Å: wide enough to amortize rebuilds over
+    /// tens of MD steps at typical thermal speeds, narrow enough that the
+    /// extra in-shell pairs cost little.
+    pub const DEFAULT_SKIN: f64 = 1.5;
+
+    pub fn new(skin: f64) -> Self {
+        assert!(skin >= 0.0, "skin must be non-negative");
+        NeighborCache {
+            skin,
+            cutoff: 0.0,
+            n_atoms: 0,
+            pbc: PbcBox::VACUUM,
+            pairs: Vec::new(),
+            ref_positions: Vec::new(),
+            all_pairs_list: false,
+            valid: false,
+            candidates: Vec::new(),
+            rebuilds: 0,
+            reuses: 0,
+        }
+    }
+
+    /// The configured skin width in Å.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// Make the cached list valid for the system's current coordinates and
+    /// the given cutoff; rebuilds only when required. Returns `true` when a
+    /// rebuild happened.
+    pub fn ensure(&mut self, system: &System, cutoff: f64) -> bool {
+        let stale = !self.valid
+            || self.n_atoms != system.n_atoms()
+            || self.cutoff != cutoff
+            || self.pbc != system.pbc
+            || (!self.all_pairs_list && self.moved_beyond_half_skin(system));
+        if stale {
+            self.rebuild(system, cutoff);
+            self.rebuilds += 1;
+        } else {
+            self.reuses += 1;
+        }
+        stale
+    }
+
+    /// The cached candidate pairs (`i < j`), exclusions already removed.
+    /// Only meaningful after [`NeighborCache::ensure`].
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Force a rebuild on the next [`NeighborCache::ensure`].
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Rebuilds performed over this cache's lifetime.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Evaluations that reused the cached list without rebuilding.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    fn moved_beyond_half_skin(&self, system: &System) -> bool {
+        if self.skin <= 0.0 {
+            // No slack: the list is exact for the reference coordinates and
+            // stays valid only while they are bitwise unchanged (which still
+            // covers repeated single-points on the same configuration).
+            return self.ref_positions != system.state.positions;
+        }
+        let limit_sq = (0.5 * self.skin) * (0.5 * self.skin);
+        self.ref_positions
+            .iter()
+            .zip(&system.state.positions)
+            .any(|(r, p)| system.pbc.min_image(*p, *r).norm_sq() > limit_sq)
+    }
+
+    fn rebuild(&mut self, system: &System, cutoff: f64) {
+        let n = system.n_atoms();
+        let pos = &system.state.positions;
+        let top = &system.topology;
+        self.pairs.clear();
+        if n < CELL_LIST_THRESHOLD {
+            self.all_pairs_list = true;
+            for (i, j) in all_pairs(n) {
+                if !top.is_excluded(i, j) {
+                    self.pairs.push((i, j));
+                }
+            }
+        } else {
+            self.all_pairs_list = false;
+            let reach = cutoff + self.skin;
+            let reach_sq = reach * reach;
+            let cl = CellList::build(pos, &system.pbc, reach);
+            cl.pairs_into(&mut self.candidates);
+            for &(i, j) in &self.candidates {
+                if top.is_excluded(i, j) {
+                    continue;
+                }
+                let d = system.pbc.min_image(pos[i as usize], pos[j as usize]);
+                if d.norm_sq() <= reach_sq {
+                    self.pairs.push((i, j));
+                }
+            }
+        }
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(pos);
+        self.n_atoms = n;
+        self.cutoff = cutoff;
+        self.pbc = system.pbc;
+        self.valid = true;
     }
 }
 
@@ -197,6 +387,8 @@ const HALF_SHELL: [(isize, isize, isize); 13] = [
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::State;
+    use crate::topology::{Atom, Topology};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::collections::BTreeSet;
@@ -227,7 +419,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let pbc = PbcBox::cubic(20.0);
         let positions: Vec<Vec3> = (0..300)
-            .map(|_| Vec3::new(rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0))
+            .map(|_| {
+                Vec3::new(rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0)
+            })
             .collect();
         let cutoff = 4.0;
         let cl = CellList::build(&positions, &pbc, cutoff);
@@ -284,7 +478,165 @@ mod tests {
         assert!(cl1.pairs().is_empty());
     }
 
+    fn cache_system(positions: Vec<Vec3>, pbc: PbcBox) -> System {
+        let top = Topology {
+            atoms: vec![Atom::lj(18.0, 0.15, 3.15); positions.len()],
+            ..Default::default()
+        };
+        let mut state = State::zeros(positions.len());
+        state.positions = positions;
+        System::new(top, pbc, state).unwrap()
+    }
+
+    /// Pairs within the cutoff according to a cache's candidate list.
+    fn cached_within_cutoff(
+        sys: &System,
+        cache: &NeighborCache,
+        cutoff: f64,
+    ) -> BTreeSet<(u32, u32)> {
+        within_cutoff_pairs(&sys.state.positions, &sys.pbc, cutoff, cache.pairs().iter().copied())
+    }
+
+    #[test]
+    fn cache_reuses_until_half_skin_displacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = 30.0;
+        let n = 600; // above CELL_LIST_THRESHOLD: the cell-list path
+        let positions: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+            .collect();
+        let mut sys = cache_system(positions, PbcBox::cubic(l));
+        let cutoff = 6.0;
+        let mut cache = NeighborCache::new(2.0);
+        assert!(cache.ensure(&sys, cutoff), "first ensure builds");
+        assert!(!cache.ensure(&sys, cutoff), "unchanged coordinates reuse");
+        // Displace one atom by less than skin/2: still valid.
+        sys.state.positions[0] += Vec3::new(0.9, 0.0, 0.0);
+        assert!(!cache.ensure(&sys, cutoff), "sub-skin/2 move reuses");
+        // Push the same atom past skin/2 total displacement: rebuild.
+        sys.state.positions[0] += Vec3::new(0.2, 0.0, 0.0);
+        assert!(cache.ensure(&sys, cutoff), "beyond skin/2 rebuilds");
+        assert_eq!(cache.rebuilds(), 2);
+        assert_eq!(cache.reuses(), 2);
+    }
+
+    #[test]
+    fn cache_small_system_is_position_independent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let positions: Vec<Vec3> = (0..50)
+            .map(|_| {
+                Vec3::new(rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0)
+            })
+            .collect();
+        let mut sys = cache_system(positions, PbcBox::VACUUM);
+        let mut cache = NeighborCache::new(1.0);
+        cache.ensure(&sys, 5.0);
+        assert_eq!(cache.pairs().len(), 50 * 49 / 2);
+        for p in &mut sys.state.positions {
+            *p += Vec3::new(100.0, -3.0, 7.0);
+        }
+        assert!(!cache.ensure(&sys, 5.0), "all-pairs list never rebuilds");
+    }
+
+    #[test]
+    fn cache_prefilters_exclusions() {
+        let mut top = Topology {
+            atoms: vec![Atom::lj(12.0, 0.1, 3.0); 3],
+            bonds: vec![crate::topology::Bond { i: 0, j: 1, k: 100.0, r0: 1.0 }],
+            ..Default::default()
+        };
+        top.build_exclusions();
+        let mut state = State::zeros(3);
+        state.positions[1] = Vec3::new(1.0, 0.0, 0.0);
+        state.positions[2] = Vec3::new(2.0, 0.0, 0.0);
+        let sys = System::new(top, PbcBox::VACUUM, state).unwrap();
+        let mut cache = NeighborCache::new(1.0);
+        cache.ensure(&sys, 5.0);
+        let pairs: BTreeSet<_> = cache.pairs().iter().copied().collect();
+        assert!(!pairs.contains(&(0, 1)), "bonded pair filtered out");
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn cache_invalidate_forces_rebuild() {
+        let positions: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let sys = cache_system(positions, PbcBox::VACUUM);
+        let mut cache = NeighborCache::new(1.0);
+        cache.ensure(&sys, 3.0);
+        assert!(!cache.ensure(&sys, 3.0));
+        cache.invalidate();
+        assert!(cache.ensure(&sys, 3.0));
+        // A different cutoff also rebuilds.
+        assert!(cache.ensure(&sys, 4.0));
+    }
+
     proptest::proptest! {
+        /// The Verlet guarantee: after arbitrary per-atom displacements of at
+        /// most skin/2, a cached list built at the original coordinates still
+        /// finds every within-cutoff pair (periodic and vacuum).
+        #[test]
+        fn verlet_skin_never_misses_after_displacement(
+            seed in 0u64..200,
+            n in 2usize..60,
+            periodic in proptest::bool::ANY,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let l = 14.0 + (seed % 5) as f64;
+            let pbc = if periodic { PbcBox::cubic(l) } else { PbcBox::VACUUM };
+            let positions: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+                .collect();
+            let cutoff = 3.5;
+            let skin = 1.2;
+            let mut sys = cache_system(positions, pbc);
+            let mut cache = NeighborCache::new(skin);
+            cache.ensure(&sys, cutoff);
+            // Random displacement of up to skin/2 per atom (the validity
+            // envelope; `ensure` is deliberately NOT called afterwards).
+            for p in &mut sys.state.positions {
+                let dir = Vec3::new(
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                );
+                let norm = dir.norm().max(1e-9);
+                *p += dir * (rng.gen::<f64>() * 0.5 * skin / norm);
+            }
+            let got = cached_within_cutoff(&sys, &cache, cutoff);
+            let expect = within_cutoff_pairs(&sys.state.positions, &sys.pbc, cutoff, all_pairs(n));
+            proptest::prop_assert_eq!(got, expect);
+        }
+
+        /// Same guarantee through the cell-list path (above the threshold).
+        #[test]
+        fn verlet_skin_never_misses_large_system(seed in 0u64..20) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+            let n = 450; // > CELL_LIST_THRESHOLD
+            let l = 26.0;
+            let pbc = if seed % 2 == 0 { PbcBox::cubic(l) } else { PbcBox::VACUUM };
+            let positions: Vec<Vec3> = (0..n)
+                .map(|_| Vec3::new(rng.gen::<f64>() * l, rng.gen::<f64>() * l, rng.gen::<f64>() * l))
+                .collect();
+            let cutoff = 5.0;
+            let skin = 1.5;
+            let mut sys = cache_system(positions, pbc);
+            let mut cache = NeighborCache::new(skin);
+            cache.ensure(&sys, cutoff);
+            for p in &mut sys.state.positions {
+                let dir = Vec3::new(
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                );
+                let norm = dir.norm().max(1e-9);
+                *p += dir * (rng.gen::<f64>() * 0.5 * skin / norm);
+            }
+            let got = cached_within_cutoff(&sys, &cache, cutoff);
+            let expect = within_cutoff_pairs(&sys.state.positions, &sys.pbc, cutoff, all_pairs(n));
+            proptest::prop_assert_eq!(got, expect);
+        }
+
         #[test]
         fn cell_list_never_misses_a_pair(seed in 0u64..500, n in 2usize..80) {
             let mut rng = StdRng::seed_from_u64(seed);

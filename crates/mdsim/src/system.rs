@@ -75,7 +75,8 @@ impl State {
     }
 
     pub fn is_finite(&self) -> bool {
-        self.positions.iter().all(|p| p.is_finite()) && self.velocities.iter().all(|v| v.is_finite())
+        self.positions.iter().all(|p| p.is_finite())
+            && self.velocities.iter().all(|v| v.is_finite())
     }
 }
 
@@ -138,13 +139,8 @@ impl System {
         if total_mass <= 0.0 {
             return;
         }
-        let p: Vec3 = self
-            .topology
-            .atoms
-            .iter()
-            .zip(&self.state.velocities)
-            .map(|(a, v)| *v * a.mass)
-            .sum();
+        let p: Vec3 =
+            self.topology.atoms.iter().zip(&self.state.velocities).map(|(a, v)| *v * a.mass).sum();
         let v_com = p / total_mass;
         for v in &mut self.state.velocities {
             *v -= v_com;
@@ -156,7 +152,8 @@ impl System {
     /// 0 and pi.
     pub fn dihedral_angle(&self, atoms: [u32; 4]) -> f64 {
         let p = &self.state.positions;
-        let (i, j, k, l) = (atoms[0] as usize, atoms[1] as usize, atoms[2] as usize, atoms[3] as usize);
+        let (i, j, k, l) =
+            (atoms[0] as usize, atoms[1] as usize, atoms[2] as usize, atoms[3] as usize);
         let b1 = self.pbc.min_image(p[j], p[i]);
         let b2 = self.pbc.min_image(p[k], p[j]);
         let b3 = self.pbc.min_image(p[l], p[k]);
@@ -255,10 +252,8 @@ mod tests {
 
     #[test]
     fn maxwell_boltzmann_temperature_is_close() {
-        let topology = Topology {
-            atoms: vec![Atom::lj(18.0, 0.15, 3.2); 2000],
-            ..Default::default()
-        };
+        let topology =
+            Topology { atoms: vec![Atom::lj(18.0, 0.15, 3.2); 2000], ..Default::default() };
         let state = State::zeros(2000);
         let mut sys = System::new(topology, PbcBox::cubic(50.0), state).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
@@ -273,13 +268,8 @@ mod tests {
         let mut sys = System::new(topology, PbcBox::VACUUM, State::zeros(50)).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         sys.assign_maxwell_boltzmann(500.0, &mut rng);
-        let p: Vec3 = sys
-            .topology
-            .atoms
-            .iter()
-            .zip(&sys.state.velocities)
-            .map(|(a, v)| *v * a.mass)
-            .sum();
+        let p: Vec3 =
+            sys.topology.atoms.iter().zip(&sys.state.velocities).map(|(a, v)| *v * a.mass).sum();
         assert!(p.norm() < 1e-9, "residual momentum {}", p.norm());
     }
 

@@ -56,7 +56,7 @@ impl<R: Send + 'static> LocalExecutor<R> {
             rx,
             outstanding: 0,
             next_id: 0,
-        overhead: 0.0,
+            overhead: 0.0,
         }
     }
 }

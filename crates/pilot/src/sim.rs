@@ -223,8 +223,7 @@ mod tests {
 
     #[test]
     fn fault_injection_fails_some_tasks_early() {
-        let mut ex: SimExecutor<()> =
-            SimExecutor::new(64, 3).with_faults(FaultModel::new(500.0));
+        let mut ex: SimExecutor<()> = SimExecutor::new(64, 3).with_faults(FaultModel::new(500.0));
         for i in 0..64 {
             ex.submit(unit(&format!("t{i}"), 1, 1000.0), Box::new(|| Ok(()))).unwrap();
         }

@@ -57,12 +57,7 @@ impl StagingArea {
 
     /// Names matching a prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        self.inner
-            .read()
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect()
+        self.inner.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect()
     }
 
     pub fn len(&self) -> usize {

@@ -9,8 +9,7 @@ use repex::simulation::RemdSimulation;
 fn repex_pays_a_bounded_flexibility_premium() {
     let n = 64;
     // Integrated baseline: cores == replicas, exchange inside the engine.
-    let base_cfg =
-        IntegratedConfig { surrogate_steps: 10, ..IntegratedConfig::new(n, 6000, 3) };
+    let base_cfg = IntegratedConfig { surrogate_steps: 10, ..IntegratedConfig::new(n, 6000, 3) };
     let baseline = run_integrated_tremd(&base_cfg);
 
     // RepEx, same workload, Mode I.

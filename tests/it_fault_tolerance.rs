@@ -37,11 +37,8 @@ fn relaunch_policy_retries_and_completes_sync() {
 
 #[test]
 fn async_pattern_survives_failures() {
-    let report = run_with_faults(
-        FaultPolicy::Continue,
-        Pattern::Asynchronous { tick_fraction: 0.25 },
-        60.0,
-    );
+    let report =
+        run_with_faults(FaultPolicy::Continue, Pattern::Asynchronous { tick_fraction: 0.25 }, 60.0);
     assert!(report.failed_tasks > 0);
     assert!(report.makespan > 0.0);
 }

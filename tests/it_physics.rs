@@ -25,10 +25,7 @@ fn temperature_ladder_produces_temperature_ordered_energies() {
         temps.push(sys.instantaneous_temperature());
     }
     // The hottest window should be measurably hotter than the coldest.
-    assert!(
-        temps[5] > temps[0] * 1.5,
-        "ladder thermostats should separate: {temps:?}"
-    );
+    assert!(temps[5] > temps[0] * 1.5, "ladder thermostats should separate: {temps:?}");
 }
 
 #[test]
@@ -66,10 +63,8 @@ fn umbrella_windows_keep_their_dihedrals_near_centers() {
             continue;
         }
         // Circular mean of phi.
-        let (s, c) = w
-            .samples
-            .iter()
-            .fold((0.0, 0.0), |(s, c), (phi, _)| (s + phi.sin(), c + phi.cos()));
+        let (s, c) =
+            w.samples.iter().fold((0.0, 0.0), |(s, c), (phi, _)| (s + phi.sin(), c + phi.cos()));
         let mean = s.atan2(c).to_degrees();
         let dev = mdsim::units::angle_diff_deg(mean, center).abs();
         assert!(dev < 25.0, "window at {center}°: mean phi {mean}° ({dev}° off)");
