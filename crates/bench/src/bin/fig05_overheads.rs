@@ -5,7 +5,7 @@
 //! Execution Mode I, synchronous pattern.
 
 use analysis::tables::{f1, TextTable};
-use bench::experiments::{one_d_config, run, OneDKind, PER_DIM_SWEEP, REPLICA_SWEEP};
+use bench::experiments::{one_d_config, run, run_traced, OneDKind, PER_DIM_SWEEP, REPLICA_SWEEP};
 use bench::output::{check, emit};
 use repex::config::DimensionConfig;
 use std::fmt::Write as _;
@@ -33,10 +33,16 @@ fn main() {
     let mut repex_3d = Vec::new();
     let mut rp = Vec::new();
 
+    let mut max_trace_drift: f64 = 0.0;
     for (i, &n) in REPLICA_SWEEP.iter().enumerate() {
         // 1-D runs per exchange type supply per-type data times; the T run
-        // also supplies the 1-D RepEx overhead and the RP overhead.
-        let t = run(one_d_config(OneDKind::Temperature, n, cycles)).average_timing();
+        // also supplies the 1-D RepEx overhead and the RP overhead. The T
+        // run is traced, and its overheads are read from the event stream
+        // (the aggregator is the single source of truth for Eq. 1 terms).
+        let (t_report, t_rec) = run_traced(one_d_config(OneDKind::Temperature, n, cycles));
+        let t = obs::average_breakdown(&t_rec.cycle_breakdowns());
+        max_trace_drift =
+            max_trace_drift.max((t.total() - t_report.average_timing().total()).abs());
         let u = run(one_d_config(OneDKind::Umbrella, n, cycles)).average_timing();
         let s = run(one_d_config(OneDKind::Salt, n, cycles)).average_timing();
         // A TUU 3-D run at the same total replica count supplies the 3-D
@@ -112,6 +118,16 @@ fn main() {
         check(
             &format!("all overheads stay below ~75s (max RP {:.1}s)", rp[last]),
             rp.iter().chain(&s_data).chain(&repex_3d).all(|v| *v < 75.0)
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "event-derived Tc matches the legacy report (max drift {max_trace_drift:.2e}s)"
+            ),
+            max_trace_drift < 1e-9
         )
     );
 

@@ -43,7 +43,8 @@ fn main() {
             if ni == 0 {
                 base_tc = tc;
             }
-            eff[ki][ni] = weak_efficiency(base_tc, tc);
+            eff[ki][ni] =
+                weak_efficiency(base_tc, tc).expect("positive cycle times from a completed run");
         }
     }
     for (ni, &n) in SWEEP.iter().enumerate() {

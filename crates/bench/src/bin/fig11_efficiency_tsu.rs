@@ -22,7 +22,7 @@ fn main() {
         if i == 0 {
             base_tc = tc;
         }
-        let e = weak_efficiency(base_tc, tc);
+        let e = weak_efficiency(base_tc, tc).expect("positive cycle times from a completed run");
         weak.push(e);
         table_a.add_row(vec![format!("{}", REPLICA_SWEEP[i]), f1(e)]);
     }
@@ -38,7 +38,8 @@ fn main() {
         if i == 0 {
             tc112 = tc;
         }
-        let e = strong_efficiency(tc112, STRONG_CORES[0], tc, cores);
+        let e = strong_efficiency(tc112, STRONG_CORES[0], tc, cores)
+            .expect("positive cycle times from a completed run");
         strong.push(e);
         table_b.add_row(vec![format!("{cores}"), f1(e)]);
     }

@@ -7,12 +7,23 @@
 //! fixed real-time tick.
 
 use analysis::tables::{f1, TextTable};
-use bench::experiments::{run, utilization_config};
+use bench::experiments::{run_traced, utilization_config};
 use bench::output::{check, emit};
 use repex::config::Pattern;
 use std::fmt::Write as _;
 
 const SWEEP: [usize; 4] = [120, 240, 480, 960];
+
+/// Run one traced configuration and recompute Eq. 4 utilization from the
+/// event stream (successful MD busy core-seconds over cores × makespan).
+/// Records the worst drift against the report's own figure in `max_drift`.
+fn traced(n: usize, pattern: Pattern, cycles: u64, max_drift: &mut f64) -> f64 {
+    let (report, rec) = run_traced(utilization_config(n, pattern, cycles));
+    let busy = obs::md_busy_core_seconds(&rec.events());
+    let derived = (busy / (report.pilot_cores as f64 * report.makespan) * 100.0).min(100.0);
+    *max_drift = max_drift.max((derived - report.utilization_percent).abs());
+    derived
+}
 
 fn main() {
     let cycles = 4;
@@ -23,10 +34,10 @@ fn main() {
     let mut table = TextTable::new(vec!["Cores,Replicas", "Sync (%)", "Async (%)", "Gap (%)"]);
     let mut sync_u = Vec::new();
     let mut async_u = Vec::new();
+    let mut max_drift: f64 = 0.0;
     for &n in &SWEEP {
-        let s = run(utilization_config(n, Pattern::Synchronous, cycles)).utilization_percent;
-        let a = run(utilization_config(n, Pattern::Asynchronous { tick_fraction: 0.25 }, cycles))
-            .utilization_percent;
+        let s = traced(n, Pattern::Synchronous, cycles, &mut max_drift);
+        let a = traced(n, Pattern::Asynchronous { tick_fraction: 0.25 }, cycles, &mut max_drift);
         sync_u.push(s);
         async_u.push(a);
         table.add_row(vec![format!("{n}, {n}"), f1(s), f1(a), f1(s - a)]);
@@ -77,6 +88,14 @@ fn main() {
         check(
             &format!("sync utilization in the 60-90% band ({:.1}%)", sync_u[0]),
             sync_u.iter().all(|s| *s > 55.0 && *s < 95.0)
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!("trace-derived utilization matches the report (max drift {max_drift:.2e}%)"),
+            max_drift < 1e-6
         )
     );
 

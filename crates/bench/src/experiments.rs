@@ -117,6 +117,21 @@ pub fn run(cfg: SimulationConfig) -> SimulationReport {
         .unwrap_or_else(|e| panic!("{title}: run failed: {e}"))
 }
 
+/// Like [`run`], but with structured tracing enabled: returns the report
+/// together with the recorder holding the run's event stream and counters.
+/// Figure binaries that decompose `Tc` (Fig. 5) or reconstruct utilization
+/// (Fig. 13) read from the recorder so the plot and the trace agree.
+pub fn run_traced(cfg: SimulationConfig) -> (SimulationReport, obs::Recorder) {
+    let title = cfg.title.clone();
+    let recorder = obs::Recorder::enabled();
+    let report = RemdSimulation::new(cfg)
+        .unwrap_or_else(|e| panic!("{title}: bad config: {e}"))
+        .with_recorder(recorder.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("{title}: run failed: {e}"));
+    (report, recorder)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +172,18 @@ mod tests {
         cfg.steps_per_cycle = 600;
         let report = run(cfg);
         assert_eq!(report.cycles.len(), 1);
+    }
+
+    #[test]
+    fn traced_run_captures_the_cycle_structure() {
+        let mut cfg = one_d_config(OneDKind::Temperature, 8, 2);
+        cfg.steps_per_cycle = 600;
+        let (report, recorder) = run_traced(cfg);
+        assert_eq!(report.cycles.len(), 2);
+        let breakdowns = recorder.cycle_breakdowns();
+        assert_eq!(breakdowns.len(), 2);
+        for (cycle, bd) in report.cycles.iter().zip(&breakdowns) {
+            assert!((cycle.timing.total() - bd.total()).abs() < 1e-9);
+        }
     }
 }

@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! repex run <config.json> [--json <out.json>]   run a simulation
+//!           [--trace <trace.json>]              Chrome trace of the run
+//!           [--metrics <metrics.json>]          flat counters (failures, acceptances, ...)
 //! repex validate <config.json>                  check a configuration
 //! repex example-config [tremd|tsu|ph]           print a starter config
 //! repex capabilities                            print the Table 1 comparison
@@ -43,9 +45,13 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "repex — flexible replica-exchange molecular dynamics\n\n\
-         USAGE:\n  repex run <config.json> [--json <out.json>]\n  \
+         USAGE:\n  repex run <config.json> [--json <out.json>] \
+[--trace <trace.json>] [--metrics <metrics.json>]\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
-         repex capabilities\n\nSee README.md for the configuration schema."
+         repex capabilities\n\n\
+         --trace writes a Chrome Trace Event file (open in chrome://tracing \
+or Perfetto);\n--metrics writes a flat JSON object of counters.\n\n\
+         See README.md for the configuration schema."
     );
 }
 
@@ -71,17 +77,31 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fetch the file-path argument following `--flag`, if the flag is present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a file path")))
+        .transpose()
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a config file path")?;
-    let json_out = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).cloned().ok_or("--json needs a file path"))
-        .transpose()?;
+    let json_out = flag_value(args, "--json")?;
+    let trace_out = flag_value(args, "--trace")?;
+    let metrics_out = flag_value(args, "--metrics")?;
     let cfg = load_config(path)?;
     let title = cfg.title.clone();
     eprintln!("running {title} ...");
-    let report = RemdSimulation::new(cfg)?.run()?;
+    let mut sim = RemdSimulation::new(cfg)?;
+    let recorder = if trace_out.is_some() || metrics_out.is_some() {
+        let recorder = obs::Recorder::enabled();
+        sim = sim.with_recorder(recorder.clone());
+        recorder
+    } else {
+        obs::Recorder::disabled()
+    };
+    let report = sim.run()?;
 
     println!("{}", report.summary());
     if !report.cycles.is_empty() {
@@ -138,6 +158,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[report written: {out}]");
+    }
+    if let Some(out) = trace_out {
+        std::fs::write(&out, recorder.chrome_trace_json())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[trace written: {out} — open in chrome://tracing or Perfetto]");
+    }
+    if let Some(out) = metrics_out {
+        std::fs::write(&out, recorder.metrics_json())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[metrics written: {out}]");
     }
     Ok(())
 }
@@ -214,8 +244,35 @@ mod tests {
     }
 
     #[test]
+    fn run_writes_trace_and_metrics() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 2);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("traced.json");
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+        cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--trace".into(),
+            trace_path.to_string_lossy().into_owned(),
+            "--metrics".into(),
+            metrics_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let trace: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(!trace["traceEvents"].as_array().unwrap().is_empty());
+        let metrics: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(metrics["exchange.T.attempts"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
     fn missing_file_is_a_clean_error() {
         assert!(cmd_validate(&["/no/such/file.json".to_string()]).is_err());
         assert!(cmd_run(&[]).is_err());
+        assert!(cmd_run(&["cfg.json".into(), "--trace".into()]).is_err());
     }
 }

@@ -12,6 +12,7 @@
 use super::DriverCtx;
 use crate::config::{FaultPolicy, Pattern};
 use crate::task::TaskResult;
+use obs::Event;
 use std::collections::HashMap;
 
 /// Outcome of an asynchronous run (per-cycle decomposition does not apply:
@@ -48,16 +49,30 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     let mut ready: Vec<usize> = Vec::new(); // replica ids awaiting exchange
     let mut next_tick = tick;
     let mut exchange_rounds = 0u64;
+    // exchange unit name -> (round, participants), for trace attribution.
+    let mut ex_meta: HashMap<String, (u64, usize)> = HashMap::new();
+    let ex_letter = ctx.dim_kind(0).letter();
 
     while let Some(done) = ctx.pilot.executor.next_completion() {
         match done.outcome {
             Ok(TaskResult::Md(ref md)) => {
+                let attempt = in_flight.remove(&done.name).map(|(_, a)| a).unwrap_or(0);
                 ctx.md_core_seconds += done.duration() * done.cores as f64;
+                ctx.recorder.record(Event::MdSegment {
+                    replica: md.replica,
+                    slot: md.slot,
+                    cycle: md.cycle,
+                    dim: 0,
+                    attempt,
+                    cores: done.cores,
+                    start: done.start.as_secs(),
+                    end: done.end.as_secs(),
+                    ok: true,
+                });
                 ctx.record_samples_at(md.slot, md.cycle, &md.trace);
                 let r = &mut ctx.replicas[md.replica];
                 r.stale = false;
                 r.segments_done += 1;
-                in_flight.remove(&done.name);
                 if r.segments_done < n_segments {
                     ready.push(md.replica);
                 } // finished replicas retire
@@ -66,22 +81,52 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
                 // Swaps apply as soon as the exchange unit completes; the
                 // participants already resumed MD under their pre-swap
                 // parameters (relaxed consistency, see `flush_ready`).
+                if ctx.recorder.is_enabled() {
+                    let (round, participants) =
+                        ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
+                    ctx.recorder.record(Event::ExchangeWindow {
+                        kind: ex_letter,
+                        dim: 0,
+                        cycle: round,
+                        participants,
+                        start: done.start.as_secs(),
+                        end: done.end.as_secs(),
+                    });
+                }
                 ctx.acceptance[0].merge(&report.stats);
                 ctx.apply_swaps(0, &report.swaps);
             }
             Err(_) => {
                 ctx.failed_tasks += 1;
-                if let Some(&(slot, retries)) = in_flight.get(&done.name) {
-                    in_flight.remove(&done.name);
+                if let Some((slot, retries)) = in_flight.remove(&done.name) {
+                    let replica = ctx.slot_owner[slot];
+                    ctx.recorder.record(Event::MdSegment {
+                        replica,
+                        slot,
+                        cycle: ctx.replicas[replica].segments_done,
+                        dim: 0,
+                        attempt: retries,
+                        cores: done.cores,
+                        start: done.start.as_secs(),
+                        end: done.end.as_secs(),
+                        ok: false,
+                    });
                     match ctx.cfg.fault_policy {
                         FaultPolicy::Relaunch { max_retries } if retries < max_retries => {
                             ctx.relaunched_tasks += 1;
+                            if ctx.recorder.is_enabled() {
+                                ctx.recorder.record(Event::TaskRelaunch {
+                                    name: done.name.clone(),
+                                    slot,
+                                    attempt: retries + 1,
+                                    at: ctx.pilot.executor.now().as_secs(),
+                                });
+                            }
                             resubmit_md(ctx, slot, retries + 1, &mut in_flight)?;
                         }
                         _ => {
                             // Continue: replica resumes MD next round without
                             // exchanging (asynchronous recovery: nobody waits).
-                            let replica = ctx.slot_owner[slot];
                             if ctx.replicas[replica].segments_done < n_segments {
                                 ready.push(replica);
                             }
@@ -99,25 +144,48 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
                 next_tick += tick;
             }
             exchange_rounds += 1;
-            flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight)?;
+            flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight, &mut ex_meta)?;
         }
     }
     // Leftover ready replicas (clock never crossed another tick): run their
     // remaining segments without an exchange.
     while !ready.is_empty() {
         exchange_rounds += 1;
-        flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight)?;
+        flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight, &mut ex_meta)?;
         while let Some(done) = ctx.pilot.executor.next_completion() {
             if let Ok(TaskResult::Md(md)) = &done.outcome {
+                let attempt = in_flight.remove(&done.name).map(|(_, a)| a).unwrap_or(0);
                 ctx.md_core_seconds += done.duration() * done.cores as f64;
+                ctx.recorder.record(Event::MdSegment {
+                    replica: md.replica,
+                    slot: md.slot,
+                    cycle: md.cycle,
+                    dim: 0,
+                    attempt,
+                    cores: done.cores,
+                    start: done.start.as_secs(),
+                    end: done.end.as_secs(),
+                    ok: true,
+                });
                 ctx.record_samples_at(md.slot, md.cycle, &md.trace);
                 let r = &mut ctx.replicas[md.replica];
                 r.segments_done += 1;
-                in_flight.remove(&done.name);
                 if r.segments_done < n_segments {
                     ready.push(md.replica);
                 }
             } else if let Ok(TaskResult::Exchange(report)) = &done.outcome {
+                if ctx.recorder.is_enabled() {
+                    let (round, participants) =
+                        ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
+                    ctx.recorder.record(Event::ExchangeWindow {
+                        kind: ex_letter,
+                        dim: 0,
+                        cycle: round,
+                        participants,
+                        start: done.start.as_secs(),
+                        end: done.end.as_secs(),
+                    });
+                }
                 ctx.acceptance[0].merge(&report.stats);
                 ctx.apply_swaps(0, &report.swaps);
             }
@@ -134,9 +202,13 @@ fn flush_ready(
     ready: &mut Vec<usize>,
     round: u64,
     in_flight: &mut HashMap<String, (usize, u32)>,
+    ex_meta: &mut HashMap<String, (u64, usize)>,
 ) -> Result<(), String> {
     if ready.len() >= 2 && !ctx.cfg.no_exchange {
         let (desc, work) = ctx.partial_exchange_unit(0, round, ready);
+        if ctx.recorder.is_enabled() {
+            ex_meta.insert(desc.name.clone(), (round, ready.len()));
+        }
         ctx.pilot.executor.submit(desc, work)?;
     }
     // Resume MD for all ready replicas at the current slot assignment. The
@@ -160,8 +232,13 @@ fn submit_md(
     let cycle = ctx.replicas[replica].segments_done;
     let mut spec = ctx.md_spec(slot, cycle, 0);
     spec.seed = spec.seed.wrapping_add((retries as u64) << 32);
-    let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
-    in_flight.insert(desc.name.clone(), (slot, retries));
+    let (mut desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
+    // Per-attempt unique name: a relaunched segment must never collide
+    // with (and inherit the stale retry count of) an earlier attempt.
+    desc.name = super::attempt_task_name(&desc.name, 0, retries);
+    if in_flight.insert(desc.name.clone(), (slot, retries)).is_some() {
+        return Err(format!("duplicate in-flight unit name {}", desc.name));
+    }
     ctx.pilot.executor.submit(desc, work)?;
     Ok(())
 }
@@ -305,6 +382,28 @@ mod tests {
         let out = run_async(&mut ctx).unwrap();
         assert!(out.makespan >= 3.0 * seg, "{} vs {}", out.makespan, 3.0 * seg);
         assert!(out.makespan < 3.0 * seg * 1.8, "{} vs {}", out.makespan, 3.0 * seg);
+    }
+
+    #[test]
+    fn traced_async_run_records_every_segment_and_round() {
+        let recorder = obs::Recorder::enabled();
+        let mut ctx = build_ctx(async_cfg(8, 3)).unwrap();
+        ctx.recorder = recorder.clone();
+        let out = run_async(&mut ctx).unwrap();
+        let events = recorder.events();
+        let md_ok =
+            events.iter().filter(|e| matches!(e, Event::MdSegment { ok: true, .. })).count();
+        assert_eq!(md_ok, 8 * 3, "one event per completed segment");
+        let windows = events.iter().filter(|e| matches!(e, Event::ExchangeWindow { .. })).count();
+        assert!(windows as u64 <= out.exchange_rounds);
+        assert!(windows > 0, "tick rounds must appear in the trace");
+        // Every segment is attributable to a replica with finite bounds.
+        for e in &events {
+            if let Event::MdSegment { replica, start, end, .. } = e {
+                assert!(*replica < 8);
+                assert!(end > start);
+            }
+        }
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub struct DriverCtx {
     pub relaunched_tasks: u64,
     /// MD busy core-seconds (for utilization, Eq. 4).
     pub md_core_seconds: f64,
+    /// Structured-event sink; disabled (no-op) unless tracing was requested.
+    pub recorder: obs::Recorder,
 }
 
 impl DriverCtx {
@@ -368,6 +370,17 @@ pub fn kind_letter(kind: ExchangeKind) -> char {
     kind.letter()
 }
 
+/// Globally-unique unit name for one MD attempt: the AMM's base name (which
+/// encodes replica and cycle) plus the dimension pass and attempt number.
+///
+/// The drivers key their relaunch bookkeeping (name → slot, attempt) on unit
+/// names, so names must be unique across relaunches and cycles — a retried
+/// task must never collide with, and inherit the stale retry count of, any
+/// other in-flight or completed unit.
+pub(crate) fn attempt_task_name(base: &str, dim: usize, attempt: u32) -> String {
+    format!("{base}-d{dim}-a{attempt}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +493,23 @@ mod tests {
         assert_eq!(report[0].slot, 2);
         assert_eq!(report[0].samples.len(), 3);
         assert_eq!(report[1].slot, 5);
+    }
+
+    #[test]
+    fn attempt_names_unique_across_dims_cycles_and_retries() {
+        use std::collections::HashSet;
+        let mut names = HashSet::new();
+        for cycle in 0..3u64 {
+            for dim in 0..2 {
+                for attempt in 0..3u32 {
+                    let base = format!("md-r{:05}_c{:04}", 7, cycle);
+                    assert!(
+                        names.insert(attempt_task_name(&base, dim, attempt)),
+                        "collision at c{cycle} d{dim} a{attempt}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

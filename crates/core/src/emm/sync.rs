@@ -12,7 +12,8 @@ use super::DriverCtx;
 use crate::config::FaultPolicy;
 use crate::report::CycleReport;
 use crate::task::TaskResult;
-use crate::timing::CycleTiming;
+use crate::timing::{timing_from_breakdown, CycleTiming};
+use obs::{Event, OverheadScope};
 use std::collections::HashMap;
 
 /// Run the configured number of synchronous cycles; returns per-cycle
@@ -27,24 +28,63 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
     Ok(reports)
 }
 
+/// Submit one MD attempt for `slot`, registering it in the relaunch
+/// bookkeeping under a globally-unique name (base name + dim + attempt).
+fn submit_md_attempt(
+    ctx: &mut DriverCtx,
+    slot: usize,
+    cycle: u64,
+    dim: usize,
+    attempt: u32,
+    in_flight: &mut HashMap<String, (usize, u32)>,
+) -> Result<(), String> {
+    let mut spec = ctx.md_spec(slot, cycle, dim);
+    // Each relaunch attempt gets a perturbed seed so the retried
+    // trajectory is independent (attempt 0 keeps the base seed).
+    spec.seed = spec.seed.wrapping_add((attempt as u64) << 32);
+    let (mut desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
+    desc.name = super::attempt_task_name(&desc.name, dim, attempt);
+    if in_flight.insert(desc.name.clone(), (slot, attempt)).is_some() {
+        return Err(format!("duplicate in-flight unit name {}", desc.name));
+    }
+    ctx.pilot.executor.submit(desc, work)?;
+    Ok(())
+}
+
 fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String> {
     let n = ctx.n_replicas();
     let dims = ctx.grid.n_dims();
-    let mut timing = CycleTiming::default();
+    // The cycle's event stream. The returned `CycleTiming` is *derived*
+    // from these events (one source of truth), so the report can never
+    // disagree with an exported trace.
+    let mut events: Vec<Event> = Vec::new();
+    let rebuilds_before = mdsim::neighbor::neighbor_cache_rebuilds();
 
     // RepEx framework overhead: task preparation and local method calls,
     // once per cycle (Fig. 5 plots it per cycle).
     if ctx.simulated {
         let t = ctx.perf.overhead.repex_seconds(dims, n);
+        let start = ctx.pilot.executor.now().as_secs();
         ctx.pilot.executor.charge_overhead(t);
-        timing.t_repex_over += t;
+        events.push(Event::Overhead {
+            scope: OverheadScope::Repex,
+            cycle,
+            start,
+            end: ctx.pilot.executor.now().as_secs(),
+        });
         // RP 0.35's Mode II MPI-scheduling defect (see OverheadModel): only
         // when the pilot cannot hold all replicas concurrently.
         let needed = n * ctx.cfg.resource.cores_per_replica;
         if ctx.pilot.cores() < needed {
             let t = ctx.perf.overhead.mode2_sched_per_core * ctx.pilot.cores() as f64;
+            let start = ctx.pilot.executor.now().as_secs();
             ctx.pilot.executor.charge_overhead(t);
-            timing.t_rp_over += t;
+            events.push(Event::Overhead {
+                scope: OverheadScope::Rp,
+                cycle,
+                start,
+                end: ctx.pilot.executor.now().as_secs(),
+            });
         }
     }
 
@@ -53,24 +93,42 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
         // RP overhead: launching N tasks through the agent.
         if ctx.simulated {
             let t = ctx.perf.overhead.rp_seconds(n, &ctx.cluster);
+            let start = ctx.pilot.executor.now().as_secs();
             ctx.pilot.executor.charge_overhead(t);
-            timing.t_rp_over += t;
+            events.push(Event::Overhead {
+                scope: OverheadScope::Rp,
+                cycle,
+                start,
+                end: ctx.pilot.executor.now().as_secs(),
+            });
         }
         let md_start = ctx.pilot.executor.now();
-        // name -> (slot, retries) for the relaunch fault policy.
+        // name -> (slot, attempt) for the relaunch fault policy. Names are
+        // unique per attempt, so a retried task can never inherit a stale
+        // entry from an earlier attempt, dimension or cycle.
         let mut in_flight: HashMap<String, (usize, u32)> = HashMap::new();
         for slot in 0..n {
-            let spec = ctx.md_spec(slot, cycle, dim);
-            let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
-            in_flight.insert(desc.name.clone(), (slot, 0));
-            ctx.pilot.executor.submit(desc, work)?;
+            submit_md_attempt(ctx, slot, cycle, dim, 0, &mut in_flight)?;
         }
         // Global barrier: drain every MD completion (relaunching failures
         // when the policy asks for it).
         while let Some(done) = ctx.pilot.executor.next_completion() {
             match done.outcome {
                 Ok(TaskResult::Md(ref md)) => {
+                    let attempt =
+                        in_flight.remove(&done.name).map(|(_, attempt)| attempt).unwrap_or(0);
                     ctx.md_core_seconds += done.duration() * done.cores as f64;
+                    events.push(Event::MdSegment {
+                        replica: md.replica,
+                        slot: md.slot,
+                        cycle,
+                        dim,
+                        attempt,
+                        cores: done.cores,
+                        start: done.start.as_secs(),
+                        end: done.end.as_secs(),
+                        ok: true,
+                    });
                     ctx.record_samples_at(md.slot, md.cycle, &md.trace);
                     let r = &mut ctx.replicas[md.replica];
                     r.stale = false;
@@ -84,20 +142,33 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
                 }
                 Err(reason) => {
                     ctx.failed_tasks += 1;
-                    let (slot, retries) = *in_flight
-                        .get(&done.name)
+                    let (slot, attempt) = in_flight
+                        .remove(&done.name)
                         .ok_or_else(|| format!("unknown failed unit {}", done.name))?;
                     let replica_id = ctx.slot_owner[slot];
+                    events.push(Event::MdSegment {
+                        replica: replica_id,
+                        slot,
+                        cycle,
+                        dim,
+                        attempt,
+                        cores: done.cores,
+                        start: done.start.as_secs(),
+                        end: done.end.as_secs(),
+                        ok: false,
+                    });
                     match ctx.cfg.fault_policy {
-                        FaultPolicy::Relaunch { max_retries } if retries < max_retries => {
+                        FaultPolicy::Relaunch { max_retries } if attempt < max_retries => {
                             ctx.relaunched_tasks += 1;
-                            let mut spec = ctx.md_spec(slot, cycle, dim);
-                            // A fresh attempt gets a perturbed seed so the
-                            // relaunched trajectory is independent.
-                            spec.seed = spec.seed.wrapping_add((retries as u64 + 1) << 32);
-                            let (desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
-                            in_flight.insert(desc.name.clone(), (slot, retries + 1));
-                            ctx.pilot.executor.submit(desc, work)?;
+                            if ctx.recorder.is_enabled() {
+                                events.push(Event::TaskRelaunch {
+                                    name: done.name.clone(),
+                                    slot,
+                                    attempt: attempt + 1,
+                                    at: ctx.pilot.executor.now().as_secs(),
+                                });
+                            }
+                            submit_md_attempt(ctx, slot, cycle, dim, attempt + 1, &mut in_flight)?;
                         }
                         _ => {
                             // Continue policy (or retries exhausted): the
@@ -111,19 +182,39 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
                 }
             }
         }
-        timing.t_md += ctx.pilot.executor.now() - md_start;
+        events.push(Event::MdPhase {
+            cycle,
+            dim,
+            start: md_start.as_secs(),
+            end: ctx.pilot.executor.now().as_secs(),
+        });
 
         // --- Data staging ---------------------------------------------------
         let kind = ctx.dim_kind(dim);
         if ctx.simulated {
             let t = ctx.perf.data.data_seconds(kind, n, &ctx.cluster);
+            let start = ctx.pilot.executor.now().as_secs();
             ctx.pilot.executor.charge_overhead(t);
-            timing.t_data += t;
+            events.push(Event::DataStage {
+                kind: kind.letter(),
+                dim,
+                cycle,
+                start,
+                end: ctx.pilot.executor.now().as_secs(),
+            });
         }
 
         // --- Exchange phase -------------------------------------------------
         if ctx.cfg.no_exchange {
-            timing.t_ex.push((kind, 0.0));
+            let now = ctx.pilot.executor.now().as_secs();
+            events.push(Event::ExchangeWindow {
+                kind: kind.letter(),
+                dim,
+                cycle,
+                participants: 0,
+                start: now,
+                end: now,
+            });
             continue;
         }
         let ex_start = ctx.pilot.executor.now();
@@ -147,8 +238,35 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
             }
         }
         let _ = swaps_applied;
-        timing.t_ex.push((kind, ctx.pilot.executor.now() - ex_start));
+        events.push(Event::ExchangeWindow {
+            kind: kind.letter(),
+            dim,
+            cycle,
+            participants: n,
+            start: ex_start.as_secs(),
+            end: ctx.pilot.executor.now().as_secs(),
+        });
     }
+
+    if ctx.recorder.is_enabled() {
+        let delta = mdsim::neighbor::neighbor_cache_rebuilds().saturating_sub(rebuilds_before);
+        if delta > 0 {
+            // Process-wide counter: under parallel test runs this may
+            // include other simulations' rebuilds; it is diagnostic only.
+            events.push(Event::CacheRebuild {
+                cycle,
+                rebuilds: delta,
+                at: ctx.pilot.executor.now().as_secs(),
+            });
+        }
+    }
+
+    // Eq. 1 from the event stream: the events carry the same clock probes
+    // in the same order as the per-field accumulation they replaced, so the
+    // derived timing matches it to floating-point rounding (≪ 1e-9).
+    let timing =
+        obs::cycle_breakdowns(&events).first().map(timing_from_breakdown).unwrap_or_default();
+    ctx.recorder.extend(events);
     Ok(timing)
 }
 
@@ -261,6 +379,52 @@ mod tests {
         // segments.
         for r in &ctx.replicas {
             assert_eq!(r.segments_done, 2);
+        }
+    }
+
+    #[test]
+    fn relaunch_attempts_never_collide_or_inherit_stale_retry_counts() {
+        // Regression: unit names used to repeat across relaunches (and
+        // cycles), so a retried task could look up a stale (slot, retries)
+        // entry and reset or inherit another attempt's retry count. With
+        // per-attempt names, every completed segment is a distinct
+        // (replica, cycle, dim, attempt) tuple and attempt numbers grow by
+        // exactly one per relaunch of the same work.
+        let mut cfg = quick_cfg(16);
+        cfg.fault_policy = FaultPolicy::Relaunch { max_retries: 25 };
+        let recorder = obs::Recorder::enabled();
+        let mut ctx = build_ctx(cfg).unwrap();
+        ctx.recorder = recorder.clone();
+        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(30.0)).unwrap();
+        run_sync(&mut ctx).unwrap();
+        assert!(ctx.relaunched_tasks > 0, "fault model must trigger relaunches");
+        let mut seen = std::collections::HashSet::new();
+        let mut max_attempt = 0;
+        for event in recorder.events() {
+            if let Event::MdSegment { replica, cycle, dim, attempt, .. } = event {
+                assert!(
+                    seen.insert((replica, cycle, dim, attempt)),
+                    "duplicate attempt tuple r{replica} c{cycle} d{dim} a{attempt}"
+                );
+                max_attempt = max_attempt.max(attempt);
+            }
+        }
+        assert!(max_attempt > 0, "some segment was retried");
+    }
+
+    #[test]
+    fn reported_timing_is_derived_from_the_event_stream() {
+        // The sync driver's CycleTiming must equal a re-aggregation of the
+        // events it recorded — exactly, since both come from one stream.
+        let recorder = obs::Recorder::enabled();
+        let mut ctx = build_ctx(quick_cfg(8)).unwrap();
+        ctx.recorder = recorder.clone();
+        let reports = run_sync(&mut ctx).unwrap();
+        let breakdowns = obs::cycle_breakdowns(&recorder.events());
+        assert_eq!(breakdowns.len(), reports.len());
+        for (report, b) in reports.iter().zip(&breakdowns) {
+            let rederived = timing_from_breakdown(b);
+            assert_eq!(report.timing, rederived, "cycle {}", report.cycle);
         }
     }
 

@@ -43,4 +43,7 @@ pub use config::{
 };
 pub use report::{CycleReport, SimulationReport};
 pub use simulation::RemdSimulation;
-pub use timing::{strong_efficiency, utilization_percent, weak_efficiency, CycleTiming};
+pub use timing::{
+    average_cycles, kind_from_letter, strong_efficiency, utilization_percent, weak_efficiency,
+    CycleTiming,
+};

@@ -87,6 +87,7 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
         failed_tasks: 0,
         relaunched_tasks: 0,
         md_core_seconds: 0.0,
+        recorder: obs::Recorder::default(),
     })
 }
 
@@ -103,7 +104,20 @@ impl RemdSimulation {
     /// Inject failures (must be called before `run`).
     pub fn with_faults(mut self, fault: FaultModel) -> Result<Self, String> {
         self.ctx.pilot = make_pilot(&self.ctx.cfg, fault)?;
+        // The rebuilt pilot must keep observing into the same sink.
+        self.ctx.pilot.executor.set_recorder(self.ctx.recorder.clone());
         Ok(self)
+    }
+
+    /// Attach a structured-event recorder (must be called before `run`).
+    ///
+    /// The recorder is shared: the driver emits typed [`obs::Event`]s into it
+    /// and the executor/timeline layers bump counters. Cloning the handle
+    /// after the run exposes the collected trace/metrics to the caller.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.ctx.pilot.executor.set_recorder(recorder.clone());
+        self.ctx.recorder = recorder;
+        self
     }
 
     /// Execute the configured pattern and assemble the report.
@@ -129,8 +143,26 @@ impl RemdSimulation {
         } else {
             0.0
         };
-        let acceptance =
+        let acceptance: Vec<_> =
             ctx.grid.dims.iter().zip(&ctx.acceptance).map(|(d, s)| (d.kind_letter(), *s)).collect();
+        if ctx.recorder.is_enabled() {
+            ctx.recorder.count("tasks.failed", ctx.failed_tasks);
+            ctx.recorder.count("tasks.relaunched", ctx.relaunched_tasks);
+            for (letter, stats) in &acceptance {
+                ctx.recorder.count(&format!("exchange.{letter}.attempts"), stats.attempts);
+                ctx.recorder.count(&format!("exchange.{letter}.accepted"), stats.accepted);
+            }
+            for (i, stats) in ctx.pair_acceptance.iter().enumerate() {
+                ctx.recorder.count(&format!("pair.{i:03}.attempts"), stats.attempts);
+                ctx.recorder.count(&format!("pair.{i:03}.accepted"), stats.accepted);
+            }
+            ctx.recorder
+                .set_gauge("mdsim.cell_list_builds_total", mdsim::neighbor::cell_list_builds());
+            ctx.recorder.set_gauge(
+                "mdsim.neighbor_cache_rebuilds_total",
+                mdsim::neighbor::neighbor_cache_rebuilds(),
+            );
+        }
         Ok(SimulationReport {
             title: ctx.cfg.title.clone(),
             pattern: pattern_name,

@@ -34,33 +34,98 @@ impl CycleTiming {
 /// Weak-scaling parallel efficiency (Eq. 2): `Ew = T1 / TN × 100%`, where
 /// `T1` is the cycle time at the smallest replica count (cores = replicas)
 /// and `TN` the cycle time at N replicas on N cores.
-pub fn weak_efficiency(t_base: f64, t_n: f64) -> f64 {
-    assert!(t_base > 0.0 && t_n > 0.0);
-    t_base / t_n * 100.0
+///
+/// Returns `None` on degenerate inputs (a non-positive or non-finite cycle
+/// time, e.g. from a zero-length or failed run) instead of panicking.
+pub fn weak_efficiency(t_base: f64, t_n: f64) -> Option<f64> {
+    if t_base > 0.0 && t_n > 0.0 && t_base.is_finite() && t_n.is_finite() {
+        Some(t_base / t_n * 100.0)
+    } else {
+        None
+    }
 }
 
 /// Strong-scaling parallel efficiency (Eq. 3): fixed problem size, growing
 /// cores. `t_base` was measured on `cores_base`, `t_n` on `cores_n`;
 /// `Es = T1 / (N × TN) × 100%` with `N = cores_n / cores_base`.
-pub fn strong_efficiency(t_base: f64, cores_base: usize, t_n: f64, cores_n: usize) -> f64 {
-    assert!(t_base > 0.0 && t_n > 0.0 && cores_base > 0 && cores_n > 0);
-    let n = cores_n as f64 / cores_base as f64;
-    t_base / (n * t_n) * 100.0
+///
+/// Returns `None` on degenerate inputs (non-positive/non-finite times or a
+/// zero core count).
+pub fn strong_efficiency(t_base: f64, cores_base: usize, t_n: f64, cores_n: usize) -> Option<f64> {
+    if t_base > 0.0
+        && t_n > 0.0
+        && t_base.is_finite()
+        && t_n.is_finite()
+        && cores_base > 0
+        && cores_n > 0
+    {
+        let n = cores_n as f64 / cores_base as f64;
+        Some(t_base / (n * t_n) * 100.0)
+    } else {
+        None
+    }
 }
 
 /// Utilization (Eq. 4): simulated time per CPU-hour achieved by a pattern,
 /// relative to the ideal where CPUs only ever run MD.
 /// Both arguments in the same units (e.g. ns/day per CPU-hour, or simply
-/// busy-fraction); returns percent.
-pub fn utilization_percent(pattern: f64, ideal: f64) -> f64 {
-    assert!(ideal > 0.0);
-    (pattern / ideal * 100.0).clamp(0.0, 100.0)
+/// busy-fraction); returns percent, clamped to `[0, 100]`.
+///
+/// Returns `None` when `ideal` is non-positive or either input is
+/// non-finite.
+pub fn utilization_percent(pattern: f64, ideal: f64) -> Option<f64> {
+    if ideal > 0.0 && ideal.is_finite() && pattern.is_finite() {
+        Some((pattern / ideal * 100.0).clamp(0.0, 100.0))
+    } else {
+        None
+    }
+}
+
+/// The `ExchangeKind` for a single-letter trace code (the inverse of
+/// [`ExchangeKind::letter`]).
+pub fn kind_from_letter(letter: char) -> Option<ExchangeKind> {
+    match letter {
+        'T' => Some(ExchangeKind::Temperature),
+        'U' => Some(ExchangeKind::Umbrella),
+        'S' => Some(ExchangeKind::Salt),
+        'P' => Some(ExchangeKind::Ph),
+        _ => None,
+    }
+}
+
+/// Convert an event-derived [`obs::CycleBreakdown`] into a [`CycleTiming`].
+///
+/// The drivers accumulate Eq. 1 through trace events and derive their
+/// reported timing with this bridge, so the report and any exported trace
+/// can never disagree.
+pub fn timing_from_breakdown(b: &obs::CycleBreakdown) -> CycleTiming {
+    CycleTiming {
+        t_md: b.t_md,
+        t_ex: b
+            .t_ex
+            .iter()
+            .map(|(letter, t)| {
+                (kind_from_letter(*letter).expect("driver-emitted exchange letter"), *t)
+            })
+            .collect(),
+        t_data: b.t_data,
+        t_repex_over: b.t_repex_over,
+        t_rp_over: b.t_rp_over,
+    }
 }
 
 /// Average of cycle timings (the paper reports "average of 4 simulation
-/// cycles").
+/// cycles"). An empty slice averages to the zero timing (e.g. asynchronous
+/// runs, which have no cycle decomposition).
+///
+/// When every cycle shares one dimension layout (the synchronous pattern),
+/// `t_ex` is averaged positionally, preserving per-dimension attribution
+/// even when two dimensions share a kind (e.g. T-U-U). Heterogeneous
+/// layouts — asynchronous partial-exchange cycles with fewer or reordered
+/// dimensions — are averaged by `ExchangeKind`, each kind over the cycles
+/// where it appears, instead of panicking or misattributing positionally.
 pub fn average_cycles(cycles: &[CycleTiming]) -> CycleTiming {
-    assert!(!cycles.is_empty());
+    let Some(first) = cycles.first() else { return CycleTiming::default() };
     let n = cycles.len() as f64;
     let mut avg = CycleTiming {
         t_md: cycles.iter().map(|c| c.t_md).sum::<f64>() / n,
@@ -69,11 +134,40 @@ pub fn average_cycles(cycles: &[CycleTiming]) -> CycleTiming {
         t_repex_over: cycles.iter().map(|c| c.t_repex_over).sum::<f64>() / n,
         t_rp_over: cycles.iter().map(|c| c.t_rp_over).sum::<f64>() / n,
     };
-    let dims = cycles[0].t_ex.len();
-    for d in 0..dims {
-        let kind = cycles[0].t_ex[d].0;
-        let mean = cycles.iter().map(|c| c.t_ex[d].1).sum::<f64>() / n;
-        avg.t_ex.push((kind, mean));
+    let homogeneous = cycles.iter().all(|c| {
+        c.t_ex.len() == first.t_ex.len() && c.t_ex.iter().zip(&first.t_ex).all(|(a, b)| a.0 == b.0)
+    });
+    if homogeneous {
+        for d in 0..first.t_ex.len() {
+            let mean = cycles.iter().map(|c| c.t_ex[d].1).sum::<f64>() / n;
+            avg.t_ex.push((first.t_ex[d].0, mean));
+        }
+    } else {
+        let mut kinds: Vec<ExchangeKind> = Vec::new();
+        for c in cycles {
+            for (k, _) in &c.t_ex {
+                if !kinds.contains(k) {
+                    kinds.push(*k);
+                }
+            }
+        }
+        for kind in kinds {
+            let mut sum = 0.0;
+            let mut occurrences = 0u64;
+            for c in cycles {
+                let mut present = false;
+                for (k, t) in &c.t_ex {
+                    if *k == kind {
+                        sum += t;
+                        present = true;
+                    }
+                }
+                if present {
+                    occurrences += 1;
+                }
+            }
+            avg.t_ex.push((kind, sum / occurrences as f64));
+        }
     }
     avg
 }
@@ -115,28 +209,75 @@ mod tests {
 
     #[test]
     fn eq2_weak_efficiency() {
-        assert!((weak_efficiency(100.0, 100.0) - 100.0).abs() < 1e-12);
-        assert!((weak_efficiency(100.0, 125.0) - 80.0).abs() < 1e-12);
+        assert!((weak_efficiency(100.0, 100.0).unwrap() - 100.0).abs() < 1e-12);
+        assert!((weak_efficiency(100.0, 125.0).unwrap() - 80.0).abs() < 1e-12);
         // Super-linear is possible in principle (cache effects) and must
         // not be clamped for weak scaling plots.
-        assert!(weak_efficiency(100.0, 90.0) > 100.0);
+        assert!(weak_efficiency(100.0, 90.0).unwrap() > 100.0);
     }
 
     #[test]
     fn eq3_strong_efficiency() {
         // Doubling cores halving time = 100%.
-        assert!((strong_efficiency(100.0, 112, 50.0, 224) - 100.0).abs() < 1e-12);
+        assert!((strong_efficiency(100.0, 112, 50.0, 224).unwrap() - 100.0).abs() < 1e-12);
         // Doubling cores with no speedup = 50%.
-        assert!((strong_efficiency(100.0, 112, 100.0, 224) - 50.0).abs() < 1e-12);
+        assert!((strong_efficiency(100.0, 112, 100.0, 224).unwrap() - 50.0).abs() < 1e-12);
         // Same cores = plain ratio.
-        assert!((strong_efficiency(100.0, 112, 100.0, 112) - 100.0).abs() < 1e-12);
+        assert!((strong_efficiency(100.0, 112, 100.0, 112).unwrap() - 100.0).abs() < 1e-12);
     }
 
     #[test]
     fn eq4_utilization() {
-        assert!((utilization_percent(0.8, 1.0) - 80.0).abs() < 1e-12);
-        assert_eq!(utilization_percent(1.2, 1.0), 100.0, "clamped at ideal");
-        assert_eq!(utilization_percent(0.0, 1.0), 0.0);
+        assert!((utilization_percent(0.8, 1.0).unwrap() - 80.0).abs() < 1e-12);
+        assert_eq!(utilization_percent(1.2, 1.0), Some(100.0), "clamped at ideal");
+        assert_eq!(utilization_percent(0.0, 1.0), Some(0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none_not_panic() {
+        // Zero-length or failed cycles produce zero times.
+        assert_eq!(weak_efficiency(0.0, 100.0), None);
+        assert_eq!(weak_efficiency(100.0, 0.0), None);
+        assert_eq!(weak_efficiency(f64::NAN, 100.0), None);
+        assert_eq!(weak_efficiency(100.0, f64::INFINITY), None);
+        assert_eq!(strong_efficiency(0.0, 112, 50.0, 224), None);
+        assert_eq!(strong_efficiency(100.0, 0, 50.0, 224), None);
+        assert_eq!(strong_efficiency(100.0, 112, f64::NAN, 224), None);
+        assert_eq!(utilization_percent(0.5, 0.0), None);
+        assert_eq!(utilization_percent(0.5, -1.0), None);
+        assert_eq!(utilization_percent(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn letters_round_trip_through_kind_from_letter() {
+        for kind in [
+            ExchangeKind::Temperature,
+            ExchangeKind::Umbrella,
+            ExchangeKind::Salt,
+            ExchangeKind::Ph,
+        ] {
+            assert_eq!(kind_from_letter(kind.letter()), Some(kind));
+        }
+        assert_eq!(kind_from_letter('X'), None);
+    }
+
+    #[test]
+    fn breakdown_bridge_preserves_every_field() {
+        let b = obs::CycleBreakdown {
+            cycle: 3,
+            t_md: 10.0,
+            t_ex: vec![('T', 1.0), ('S', 2.0)],
+            t_data: 0.5,
+            t_repex_over: 0.25,
+            t_rp_over: 0.75,
+        };
+        let t = timing_from_breakdown(&b);
+        assert_eq!(t.t_md, 10.0);
+        assert_eq!(t.t_ex, vec![(ExchangeKind::Temperature, 1.0), (ExchangeKind::Salt, 2.0)]);
+        assert_eq!(t.t_data, 0.5);
+        assert_eq!(t.t_repex_over, 0.25);
+        assert_eq!(t.t_rp_over, 0.75);
+        assert!((t.total() - b.total()).abs() < 1e-12);
     }
 
     #[test]
@@ -148,8 +289,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn average_of_nothing_panics() {
-        average_cycles(&[]);
+    fn average_of_nothing_is_zero_timing() {
+        // Asynchronous runs report no cycle decomposition; averaging an
+        // empty slice must not panic (the CLI summary path hits this).
+        assert_eq!(average_cycles(&[]), CycleTiming::default());
+    }
+
+    #[test]
+    fn averaging_duplicate_kinds_stays_positional() {
+        // T-U-U layouts must keep per-dimension attribution: the two U
+        // dimensions average independently.
+        let cycle = |a: f64, b: f64, c: f64| CycleTiming {
+            t_ex: vec![
+                (ExchangeKind::Temperature, a),
+                (ExchangeKind::Umbrella, b),
+                (ExchangeKind::Umbrella, c),
+            ],
+            ..Default::default()
+        };
+        let avg = average_cycles(&[cycle(1.0, 2.0, 6.0), cycle(3.0, 4.0, 8.0)]);
+        assert_eq!(avg.t_ex.len(), 3);
+        assert!((avg.t_ex[0].1 - 2.0).abs() < 1e-12);
+        assert!((avg.t_ex[1].1 - 3.0).abs() < 1e-12);
+        assert!((avg.t_ex[2].1 - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_heterogeneous_cycles_keys_by_kind() {
+        // Async partial-exchange cycles can have fewer or reordered dims;
+        // the old positional code panicked (index out of bounds) or
+        // misattributed kinds. Average by kind over the cycles where the
+        // kind appears.
+        let a = CycleTiming { t_ex: vec![(ExchangeKind::Temperature, 10.0)], ..Default::default() };
+        let b = CycleTiming {
+            t_ex: vec![(ExchangeKind::Temperature, 20.0), (ExchangeKind::Salt, 5.0)],
+            ..Default::default()
+        };
+        let avg = average_cycles(&[a, b]);
+        assert_eq!(avg.t_ex.len(), 2);
+        assert_eq!(avg.t_ex[0].0, ExchangeKind::Temperature);
+        assert!((avg.t_ex[0].1 - 15.0).abs() < 1e-12, "T over both cycles");
+        assert_eq!(avg.t_ex[1].0, ExchangeKind::Salt);
+        assert!((avg.t_ex[1].1 - 5.0).abs() < 1e-12, "S only where present");
     }
 }

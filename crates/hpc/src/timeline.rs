@@ -19,6 +19,7 @@ pub struct CoreTimeline {
     n_cores: usize,
     /// Sum of busy core-seconds scheduled so far (for utilization metrics).
     busy_core_seconds: f64,
+    recorder: obs::Recorder,
 }
 
 /// A scheduled slot.
@@ -35,7 +36,18 @@ impl CoreTimeline {
         for _ in 0..n_cores {
             free_at.push(Reverse(SimTime::ZERO));
         }
-        CoreTimeline { free_at, n_cores, busy_core_seconds: 0.0 }
+        CoreTimeline {
+            free_at,
+            n_cores,
+            busy_core_seconds: 0.0,
+            recorder: obs::Recorder::default(),
+        }
+    }
+
+    /// Attach an observability recorder; scheduling decisions are counted
+    /// against it (`timeline.tasks_scheduled`, `timeline.barriers`).
+    pub fn set_recorder(&mut self, recorder: obs::Recorder) {
+        self.recorder = recorder;
     }
 
     pub fn n_cores(&self) -> usize {
@@ -60,6 +72,7 @@ impl CoreTimeline {
             self.free_at.push(Reverse(end));
         }
         self.busy_core_seconds += duration * cores as f64;
+        self.recorder.count("timeline.tasks_scheduled", 1);
         Slot { start, end }
     }
 
@@ -76,6 +89,7 @@ impl CoreTimeline {
     /// Impose a global barrier: no core may start new work before `t`
     /// (used between the MD and exchange phases of the synchronous pattern).
     pub fn barrier(&mut self, t: SimTime) {
+        self.recorder.count("timeline.barriers", 1);
         let mut new_heap = BinaryHeap::with_capacity(self.n_cores);
         for Reverse(free) in self.free_at.drain() {
             new_heap.push(Reverse(free.max(t)));
@@ -158,6 +172,19 @@ mod tests {
         assert_eq!(tl.busy_core_seconds(), 20.0);
         assert!((tl.utilization(SimTime::seconds(10.0)) - 1.0).abs() < 1e-12);
         assert!((tl.utilization(SimTime::seconds(20.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_counts_schedules_and_barriers() {
+        let rec = obs::Recorder::enabled();
+        let mut tl = CoreTimeline::new(2);
+        tl.set_recorder(rec.clone());
+        tl.schedule(1, 1.0, SimTime::ZERO);
+        tl.schedule(2, 1.0, SimTime::ZERO);
+        tl.barrier(SimTime::seconds(5.0));
+        let counters = rec.counters();
+        assert_eq!(counters.get("timeline.tasks_scheduled"), Some(&2));
+        assert_eq!(counters.get("timeline.barriers"), Some(&1));
     }
 
     #[test]

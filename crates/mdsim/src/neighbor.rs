@@ -35,6 +35,16 @@ pub fn cell_list_builds() -> u64 {
     CELL_LIST_BUILDS.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of [`NeighborCache`] rebuilds (across every cache
+/// instance). Feeds the observability metrics export; like
+/// [`cell_list_builds`] it is diagnostics-only and monotone.
+static NEIGHBOR_REBUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of neighbor-cache rebuilds performed by this process so far.
+pub fn neighbor_cache_rebuilds() -> u64 {
+    NEIGHBOR_REBUILDS.load(Ordering::Relaxed)
+}
+
 /// Generate all unique pairs `i < j`.
 pub fn all_pairs(n: usize) -> impl Iterator<Item = (u32, u32)> {
     (0..n as u32).flat_map(move |i| (i + 1..n as u32).map(move |j| (i, j)))
@@ -289,6 +299,7 @@ impl NeighborCache {
         if stale {
             self.rebuild(system, cutoff);
             self.rebuilds += 1;
+            NEIGHBOR_REBUILDS.fetch_add(1, Ordering::Relaxed);
         } else {
             self.reuses += 1;
         }
@@ -518,6 +529,21 @@ mod tests {
         assert!(cache.ensure(&sys, cutoff), "beyond skin/2 rebuilds");
         assert_eq!(cache.rebuilds(), 2);
         assert_eq!(cache.reuses(), 2);
+    }
+
+    #[test]
+    fn global_rebuild_counter_tracks_cache_rebuilds() {
+        let positions =
+            vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0), Vec3::new(4.0, 0.0, 0.0)];
+        let sys = cache_system(positions, PbcBox::VACUUM);
+        let before = neighbor_cache_rebuilds();
+        let mut cache = NeighborCache::new(1.0);
+        cache.ensure(&sys, 5.0);
+        cache.invalidate();
+        cache.ensure(&sys, 5.0);
+        // Other tests run concurrently against the same process-wide
+        // counter, so assert a lower bound only.
+        assert!(neighbor_cache_rebuilds() >= before + 2);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Typed trace records emitted by the drivers.
+//!
+//! All timestamps are simulation-clock seconds (`SimTime::as_secs`), so the
+//! same event shapes work for the virtual-time and the wall-clock executor.
+//! Exchange kinds travel as their single-letter code (`T`/`U`/`S`/`P`) to
+//! keep this crate independent of `hpc`.
+
+/// Which Eq. 1 overhead bucket a framework-overhead window belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadScope {
+    /// RepEx framework overhead (`T_RepEx_over`): exchange bookkeeping,
+    /// swap application, cycle setup.
+    Repex,
+    /// Pilot/RP overhead (`T_RP_over`): unit launch and scheduling costs.
+    Rp,
+}
+
+/// One structured trace record.
+///
+/// Interval events carry `[start, end]` in sim-clock seconds; point events
+/// carry a single `at` timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One MD task occupying its cores from `start` to `end`.
+    MdSegment {
+        replica: usize,
+        slot: usize,
+        cycle: u64,
+        dim: usize,
+        /// 0 for the first launch, incremented per relaunch of the same work.
+        attempt: u32,
+        cores: usize,
+        start: f64,
+        end: f64,
+        /// `false` when the task failed (fault injection or payload error).
+        ok: bool,
+    },
+    /// The whole MD phase of one dimension pass: from first submission to
+    /// the barrier where every replica's segment (and relaunches) finished.
+    /// `T_MD` in Eq. 1 is the sum of these windows over a cycle.
+    MdPhase { cycle: u64, dim: usize, start: f64, end: f64 },
+    /// One exchange window (`T_EX` contribution). `kind` is the exchange
+    /// kind letter; `participants` counts the replicas considered.
+    ExchangeWindow { kind: char, dim: usize, cycle: u64, participants: usize, start: f64, end: f64 },
+    /// One data-staging window (`T_data` contribution).
+    DataStage { kind: char, dim: usize, cycle: u64, start: f64, end: f64 },
+    /// Framework overhead charged to the pipeline (`T_RepEx_over` or
+    /// `T_RP_over` depending on `scope`).
+    Overhead { scope: OverheadScope, cycle: u64, start: f64, end: f64 },
+    /// A failed task was resubmitted. `name` is the unit name of the failed
+    /// attempt; `attempt` is the attempt number of the relaunch.
+    TaskRelaunch { name: String, slot: usize, attempt: u32, at: f64 },
+    /// Neighbor-cache rebuilds observed during a cycle (process-wide delta).
+    CacheRebuild { cycle: u64, rebuilds: u64, at: f64 },
+}
+
+impl Event {
+    /// The cycle this event belongs to, if it is cycle-scoped.
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            Event::MdSegment { cycle, .. }
+            | Event::MdPhase { cycle, .. }
+            | Event::ExchangeWindow { cycle, .. }
+            | Event::DataStage { cycle, .. }
+            | Event::Overhead { cycle, .. }
+            | Event::CacheRebuild { cycle, .. } => Some(*cycle),
+            Event::TaskRelaunch { .. } => None,
+        }
+    }
+
+    /// Interval duration in seconds; 0 for point events.
+    pub fn duration(&self) -> f64 {
+        match self {
+            Event::MdSegment { start, end, .. }
+            | Event::MdPhase { start, end, .. }
+            | Event::ExchangeWindow { start, end, .. }
+            | Event::DataStage { start, end, .. }
+            | Event::Overhead { start, end, .. } => end - start,
+            Event::TaskRelaunch { .. } | Event::CacheRebuild { .. } => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_duration_accessors() {
+        let seg = Event::MdSegment {
+            replica: 3,
+            slot: 3,
+            cycle: 7,
+            dim: 0,
+            attempt: 0,
+            cores: 2,
+            start: 10.0,
+            end: 24.0,
+            ok: true,
+        };
+        assert_eq!(seg.cycle(), Some(7));
+        assert!((seg.duration() - 14.0).abs() < 1e-12);
+
+        let relaunch = Event::TaskRelaunch { name: "md-x".into(), slot: 1, attempt: 2, at: 30.0 };
+        assert_eq!(relaunch.cycle(), None);
+        assert_eq!(relaunch.duration(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Structured tracing and metrics for the RepEx cost model.
+//!
+//! The paper's evaluation hangs off the per-cycle decomposition
+//! `Tc = T_MD + T_EX + T_data + T_RepEx_over + T_RP_over` (Eq. 1) and off
+//! per-replica timelines (Figs. 5-13). This crate provides the one source
+//! of truth both are derived from: drivers emit typed [`Event`]s into a
+//! [`Recorder`], and consumers either aggregate them into per-cycle
+//! breakdowns ([`cycle_breakdowns`]) or export them as a Chrome-trace
+//! timeline ([`chrome_trace_json`]) and a flat metrics JSON.
+//!
+//! The recorder is zero-cost when disabled: [`Recorder::disabled`] carries
+//! no allocation and every call on it is a no-op, so instrumented hot paths
+//! pay only a branch on an `Option`.
+//!
+//! The crate is intentionally std-only — it sits below every other crate in
+//! the workspace and must not drag dependencies into their builds.
+
+pub mod aggregate;
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod recorder;
+
+pub use aggregate::{
+    average_breakdown, cycle_breakdowns, md_busy_core_seconds, replica_spans, CycleBreakdown,
+};
+pub use chrome::chrome_trace_json;
+pub use event::{Event, OverheadScope};
+pub use recorder::Recorder;

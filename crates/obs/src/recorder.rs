@@ -1,0 +1,210 @@
+//! The shared event sink and metrics registry.
+
+use crate::event::Event;
+use crate::{aggregate, chrome};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+#[derive(Default)]
+struct Inner {
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// A cloneable handle to one recording session.
+///
+/// [`Recorder::disabled`] (also the `Default`) holds nothing and every
+/// method on it is a no-op — instrumented code calls it unconditionally.
+/// [`Recorder::enabled`] allocates the shared sink; clones record into the
+/// same sink, so a driver, its executor, and the timeline can all hold one.
+///
+/// Thread-safe: the local (real-thread) executor counts completions from
+/// worker threads.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A no-op recorder: nothing is stored, nothing is allocated.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder; clone it into every component that should feed the
+    /// same event stream.
+    pub fn enabled() -> Self {
+        Recorder { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// Whether events are being captured. Use to skip building events whose
+    /// construction itself costs something (allocation, counter reads).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.events).push(event);
+        }
+    }
+
+    /// Append a batch of events (drivers collect per-cycle, then flush).
+    pub fn extend<I: IntoIterator<Item = Event>>(&self, events: I) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.events).extend(events);
+        }
+    }
+
+    /// Add `delta` to the named counter (created at 0 on first use).
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.counters).entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Overwrite the named counter with an absolute value (for totals read
+    /// from an external source, e.g. process-wide atomics).
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.counters).insert(name.to_string(), value);
+        }
+    }
+
+    /// Snapshot of the event stream in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => lock(&inner.events).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => lock(&inner.events).len(),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of all counters (sorted by name).
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => lock(&inner.counters).clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Export the event stream in Chrome Trace Event Format.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::chrome_trace_json(&self.events())
+    }
+
+    /// Export the counters as one flat JSON object (deterministic order).
+    pub fn metrics_json(&self) -> String {
+        let counters = self.counters();
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            let comma = if i + 1 < counters.len() { "," } else { "" };
+            out.push_str(&format!("  \"{}\": {}{}\n", crate::json::escape(name), value, comma));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Derive per-cycle Eq. 1 breakdowns from the recorded events.
+    pub fn cycle_breakdowns(&self) -> Vec<aggregate::CycleBreakdown> {
+        aggregate::cycle_breakdowns(&self.events())
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Recorder")
+                .field("events", &lock(&inner.events).len())
+                .field("counters", &lock(&inner.counters).len())
+                .finish(),
+            None => f.write_str("Recorder(disabled)"),
+        }
+    }
+}
+
+/// A payload panic on a worker thread must not wedge tracing for everyone.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn md(cycle: u64, start: f64, end: f64) -> Event {
+        Event::MdSegment {
+            replica: 0,
+            slot: 0,
+            cycle,
+            dim: 0,
+            attempt: 0,
+            cores: 1,
+            start,
+            end,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.record(md(0, 0.0, 1.0));
+        rec.count("x", 3);
+        assert_eq!(rec.event_count(), 0);
+        assert!(rec.events().is_empty());
+        assert!(rec.counters().is_empty());
+        assert_eq!(rec.metrics_json(), "{\n}");
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.record(md(0, 0.0, 1.0));
+        clone.count("tasks", 2);
+        rec.count("tasks", 1);
+        assert_eq!(rec.event_count(), 1);
+        assert_eq!(rec.counters().get("tasks"), Some(&3));
+    }
+
+    #[test]
+    fn set_gauge_overwrites() {
+        let rec = Recorder::enabled();
+        rec.count("g", 5);
+        rec.set_gauge("g", 2);
+        assert_eq!(rec.counters().get("g"), Some(&2));
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_parsable_shape() {
+        let rec = Recorder::enabled();
+        rec.count("b.second", 2);
+        rec.count("a.first", 1);
+        let json = rec.metrics_json();
+        let a = json.find("a.first").unwrap();
+        let b = json.find("b.second").unwrap();
+        assert!(a < b, "keys sorted: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn debug_impl_does_not_dump_events() {
+        let rec = Recorder::enabled();
+        rec.record(md(0, 0.0, 1.0));
+        let dbg = format!("{rec:?}");
+        assert!(dbg.contains("events"), "{dbg}");
+        assert!(format!("{:?}", Recorder::disabled()).contains("disabled"));
+    }
+}

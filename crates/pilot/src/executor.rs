@@ -73,6 +73,13 @@ pub trait Executor<R> {
 
     /// Total overhead charged so far.
     fn overhead_charged(&self) -> f64;
+
+    /// Attach a structured-event recorder. Executors count submissions,
+    /// failures and overhead charges against it; the default implementation
+    /// ignores the recorder (tracing stays opt-in per executor).
+    fn set_recorder(&mut self, recorder: obs::Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// Drain every outstanding completion (the global barrier of the

@@ -42,6 +42,7 @@ pub struct LocalExecutor<R> {
     outstanding: usize,
     next_id: u64,
     overhead: f64,
+    recorder: obs::Recorder,
 }
 
 impl<R: Send + 'static> LocalExecutor<R> {
@@ -57,6 +58,7 @@ impl<R: Send + 'static> LocalExecutor<R> {
             outstanding: 0,
             next_id: 0,
             overhead: 0.0,
+            recorder: obs::Recorder::default(),
         }
     }
 }
@@ -73,6 +75,7 @@ impl<R: Send + 'static> Executor<R> for LocalExecutor<R> {
         let id = UnitId(self.next_id);
         self.next_id += 1;
         self.outstanding += 1;
+        self.recorder.count("pilot.units_submitted", 1);
         let permits = Arc::clone(&self.permits);
         let tx = self.tx.clone();
         let epoch = self.epoch;
@@ -100,6 +103,9 @@ impl<R: Send + 'static> Executor<R> for LocalExecutor<R> {
         }
         let unit = self.rx.recv().expect("worker sender alive while outstanding > 0");
         self.outstanding -= 1;
+        if unit.is_failed() {
+            self.recorder.count("pilot.units_failed", 1);
+        }
         Some(unit)
     }
 
@@ -119,6 +125,10 @@ impl<R: Send + 'static> Executor<R> for LocalExecutor<R> {
 
     fn overhead_charged(&self) -> f64 {
         self.overhead
+    }
+
+    fn set_recorder(&mut self, recorder: obs::Recorder) {
+        self.recorder = recorder;
     }
 }
 

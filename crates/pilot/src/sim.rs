@@ -31,6 +31,7 @@ pub struct SimExecutor<R> {
     noise: NoiseModel,
     rng: StdRng,
     overhead: f64,
+    recorder: obs::Recorder,
 }
 
 impl<R> SimExecutor<R> {
@@ -45,6 +46,7 @@ impl<R> SimExecutor<R> {
             noise: NoiseModel::default(),
             rng: StdRng::seed_from_u64(seed),
             overhead: 0.0,
+            recorder: obs::Recorder::default(),
         }
     }
 
@@ -95,6 +97,10 @@ impl<R> Executor<R> for SimExecutor<R> {
             None => (modeled, result),
         };
         let slot = self.timeline.schedule(desc.cores, duration, self.now);
+        self.recorder.count("pilot.units_submitted", 1);
+        if outcome.is_err() {
+            self.recorder.count("pilot.units_failed", 1);
+        }
         let id = UnitId(self.next_id);
         self.next_id += 1;
         self.pending.push(Reverse((slot.end, id.0)));
@@ -144,6 +150,11 @@ impl<R> Executor<R> for SimExecutor<R> {
 
     fn overhead_charged(&self) -> f64 {
         self.overhead
+    }
+
+    fn set_recorder(&mut self, recorder: obs::Recorder) {
+        self.timeline.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 
@@ -234,6 +245,21 @@ mod tests {
         for f in &failed {
             assert!(f.duration() < 1000.0, "failed tasks end early");
         }
+    }
+
+    #[test]
+    fn recorder_counts_submissions_and_failures() {
+        let rec = obs::Recorder::enabled();
+        let mut ex: SimExecutor<()> = SimExecutor::new(2, 1);
+        ex.set_recorder(rec.clone());
+        ex.submit(unit("ok", 1, 1.0), Box::new(|| Ok(()))).unwrap();
+        ex.submit(unit("bad", 1, 1.0), Box::new(|| Err("boom".into()))).unwrap();
+        drain(&mut ex);
+        let counters = rec.counters();
+        assert_eq!(counters.get("pilot.units_submitted"), Some(&2));
+        assert_eq!(counters.get("pilot.units_failed"), Some(&1));
+        // The recorder was forwarded to the core timeline as well.
+        assert_eq!(counters.get("timeline.tasks_scheduled"), Some(&2));
     }
 
     #[test]
