@@ -34,6 +34,7 @@ fn main() {
     let mut rp = Vec::new();
 
     let mut max_trace_drift: f64 = 0.0;
+    let mut max_path_drift: f64 = 0.0;
     for (i, &n) in REPLICA_SWEEP.iter().enumerate() {
         // 1-D runs per exchange type supply per-type data times; the T run
         // also supplies the 1-D RepEx overhead and the RP overhead. The T
@@ -43,6 +44,14 @@ fn main() {
         let t = obs::average_breakdown(&t_rec.cycle_breakdowns());
         max_trace_drift =
             max_trace_drift.max((t.total() - t_report.average_timing().total()).abs());
+        // The longest chain through a synchronous cycle's phase events must
+        // reproduce that cycle's Eq. 1 total (the phases tile the cycle).
+        let events = t_rec.events();
+        for (cp, b) in
+            obs::cycle_critical_paths(&events).iter().zip(&obs::cycle_breakdowns(&events))
+        {
+            max_path_drift = max_path_drift.max((cp.path.total - b.total()).abs());
+        }
         let u = run(one_d_config(OneDKind::Umbrella, n, cycles)).average_timing();
         let s = run(one_d_config(OneDKind::Salt, n, cycles)).average_timing();
         // A TUU 3-D run at the same total replica count supplies the 3-D
@@ -128,6 +137,16 @@ fn main() {
                 "event-derived Tc matches the legacy report (max drift {max_trace_drift:.2e}s)"
             ),
             max_trace_drift < 1e-9
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            &format!(
+                "per-cycle critical path equals the Eq. 1 total (max drift {max_path_drift:.2e}s)"
+            ),
+            max_path_drift < 1e-9
         )
     );
 

@@ -16,12 +16,26 @@ const SWEEP: [usize; 4] = [120, 240, 480, 960];
 
 /// Run one traced configuration and recompute Eq. 4 utilization from the
 /// event stream (successful MD busy core-seconds over cores × makespan).
-/// Records the worst drift against the report's own figure in `max_drift`.
-fn traced(n: usize, pattern: Pattern, cycles: u64, max_drift: &mut f64) -> f64 {
+/// Records the worst drift against the report's own figure in `max_drift`,
+/// and clears `health_exact` if the acceptance counters replayed from the
+/// `ExchangeOutcome` events diverge from the in-process exchange stats.
+fn traced(
+    n: usize,
+    pattern: Pattern,
+    cycles: u64,
+    max_drift: &mut f64,
+    health_exact: &mut bool,
+) -> f64 {
     let (report, rec) = run_traced(utilization_config(n, pattern, cycles));
-    let busy = obs::md_busy_core_seconds(&rec.events());
+    let events = rec.events();
+    let busy = obs::md_busy_core_seconds(&events);
     let derived = (busy / (report.pilot_cores as f64 * report.makespan) * 100.0).min(100.0);
     *max_drift = max_drift.max((derived - report.utilization_percent).abs());
+    let health = obs::exchange_health(&events);
+    *health_exact &= health.len() == report.acceptance.len()
+        && health.iter().zip(&report.acceptance).all(|(h, (letter, s))| {
+            h.kind == *letter && h.attempts == s.attempts && h.accepted == s.accepted
+        });
     derived
 }
 
@@ -35,9 +49,16 @@ fn main() {
     let mut sync_u = Vec::new();
     let mut async_u = Vec::new();
     let mut max_drift: f64 = 0.0;
+    let mut health_exact = true;
     for &n in &SWEEP {
-        let s = traced(n, Pattern::Synchronous, cycles, &mut max_drift);
-        let a = traced(n, Pattern::Asynchronous { tick_fraction: 0.25 }, cycles, &mut max_drift);
+        let s = traced(n, Pattern::Synchronous, cycles, &mut max_drift, &mut health_exact);
+        let a = traced(
+            n,
+            Pattern::Asynchronous { tick_fraction: 0.25 },
+            cycles,
+            &mut max_drift,
+            &mut health_exact,
+        );
         sync_u.push(s);
         async_u.push(a);
         table.add_row(vec![format!("{n}, {n}"), f1(s), f1(a), f1(s - a)]);
@@ -96,6 +117,14 @@ fn main() {
         check(
             &format!("trace-derived utilization matches the report (max drift {max_drift:.2e}%)"),
             max_drift < 1e-6
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        check(
+            "trace-derived acceptance counters equal the in-process exchange stats",
+            health_exact
         )
     );
 

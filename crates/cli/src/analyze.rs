@@ -1,0 +1,412 @@
+//! `repex analyze` — a run-health report derived from a recorded trace.
+//!
+//! The subcommand re-reads a Chrome-trace file written by `repex run
+//! --trace`, reconstructs the typed event stream, and reports what the
+//! paper's evaluation cares about: Tc percentiles (Eq. 1), per-replica
+//! straggler flags, Mode II batch imbalance, the per-cycle critical path,
+//! and exchange health (acceptance per dimension, ladder round trips) —
+//! all from the trace alone, no access to the original process.
+
+use analysis::tables::{f1, TextTable};
+use obs::{Event, OverheadScope};
+use std::collections::BTreeSet;
+
+pub fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze needs a trace file path")?;
+    let json_out = crate::flag_value(args, "--json")?;
+    let z = num_flag(args, "--straggler-z")?.unwrap_or(2.0);
+    let ratio = num_flag(args, "--straggler-ratio")?.unwrap_or(1.5);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = parse_trace(&text)?;
+    let policy = obs::StragglerPolicy { z_threshold: z, ratio_threshold: ratio };
+    let doc = analyze(&events, policy);
+    print_human(&doc);
+    if let Some(out) = json_out {
+        std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[analysis written: {out}]");
+    }
+    Ok(())
+}
+
+/// Fetch a numeric `--flag <value>` argument.
+fn num_flag(args: &[String], flag: &str) -> Result<Option<f64>, String> {
+    crate::flag_value(args, flag)?
+        .map(|v| v.parse::<f64>().map_err(|_| format!("{flag} needs a number, got {v:?}")))
+        .transpose()
+}
+
+// ---------------------------------------------------------------------------
+// Trace parsing: Chrome Trace Event Format back to typed obs::Events.
+// ---------------------------------------------------------------------------
+
+fn secs(v: &serde_json::Value, key: &str) -> f64 {
+    v[key].as_f64().unwrap_or(0.0) / 1e6
+}
+
+fn arg_u(v: &serde_json::Value, key: &str) -> usize {
+    v["args"][key].as_u64().unwrap_or(0) as usize
+}
+
+/// Parse a `repex run --trace` document back into the event stream.
+///
+/// Unknown categories are skipped (forward compatibility); `ph:"M"`
+/// metadata records carry no events.
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let records = doc["traceEvents"]
+        .as_array()
+        .ok_or("trace has no traceEvents array (not a repex chrome trace?)")?;
+    let mut events = Vec::with_capacity(records.len());
+    for r in records {
+        let ph = r["ph"].as_str().unwrap_or("");
+        let cat = r["cat"].as_str().unwrap_or("");
+        let start = secs(r, "ts");
+        let end = start + secs(r, "dur");
+        match (ph, cat) {
+            ("X", "md") => events.push(Event::MdSegment {
+                replica: arg_u(r, "replica"),
+                slot: arg_u(r, "slot"),
+                cycle: arg_u(r, "cycle") as u64,
+                dim: arg_u(r, "dim"),
+                attempt: arg_u(r, "attempt") as u32,
+                cores: arg_u(r, "cores"),
+                start,
+                end,
+                ok: r["args"]["ok"].as_bool().unwrap_or(true),
+            }),
+            ("X", "phase") => events.push(Event::MdPhase {
+                cycle: arg_u(r, "cycle") as u64,
+                dim: arg_u(r, "dim"),
+                start,
+                end,
+            }),
+            ("X", "exchange") => events.push(Event::ExchangeWindow {
+                kind: kind_of(r),
+                dim: r["tid"].as_u64().unwrap_or(0) as usize,
+                cycle: arg_u(r, "cycle") as u64,
+                participants: arg_u(r, "participants"),
+                start,
+                end,
+            }),
+            ("X", "data") => events.push(Event::DataStage {
+                kind: kind_of(r),
+                dim: arg_u(r, "dim"),
+                cycle: arg_u(r, "cycle") as u64,
+                start,
+                end,
+            }),
+            ("X", "overhead") => {
+                let name = r["name"].as_str().unwrap_or("");
+                let scope = if name.starts_with("RP_OVER") {
+                    OverheadScope::Rp
+                } else {
+                    OverheadScope::Repex
+                };
+                events.push(Event::Overhead { scope, cycle: arg_u(r, "cycle") as u64, start, end });
+            }
+            ("i", "exchange_outcome") => events.push(Event::ExchangeOutcome {
+                dim: arg_u(r, "dim"),
+                cycle: arg_u(r, "cycle") as u64,
+                slot_lo: arg_u(r, "slot_lo"),
+                slot_hi: arg_u(r, "slot_hi"),
+                accepted: r["args"]["accepted"].as_bool().unwrap_or(false),
+                at: start,
+            }),
+            ("i", "fault") => {
+                let name = r["name"].as_str().unwrap_or("");
+                events.push(Event::TaskRelaunch {
+                    name: name.strip_prefix("RELAUNCH ").unwrap_or(name).to_string(),
+                    slot: arg_u(r, "slot"),
+                    attempt: arg_u(r, "attempt") as u32,
+                    at: start,
+                });
+            }
+            ("i", "cache") => events.push(Event::CacheRebuild {
+                cycle: arg_u(r, "cycle") as u64,
+                rebuilds: arg_u(r, "rebuilds") as u64,
+                at: start,
+            }),
+            _ => {}
+        }
+    }
+    Ok(events)
+}
+
+fn kind_of(r: &serde_json::Value) -> char {
+    r["args"]["kind"].as_str().and_then(|s| s.chars().next()).unwrap_or('?')
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// Ladder round trips replayed from the trace: 1-D runs only (rung == slot).
+fn round_trips_from_trace(events: &[Event]) -> Option<u64> {
+    let dims: BTreeSet<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ExchangeWindow { dim, .. } | Event::ExchangeOutcome { dim, .. } => Some(*dim),
+            _ => None,
+        })
+        .collect();
+    let n = obs::implied_slot_count(events);
+    if n < 2 || dims.len() != 1 {
+        return None;
+    }
+    let replay = obs::replay_slot_walk(events, n);
+    let mut rt = exchange::stats::RoundTripTracker::new(n, n);
+    for record in &replay.records {
+        for (replica, rung) in record.iter().enumerate() {
+            rt.record(replica, *rung);
+        }
+    }
+    Some(rt.total_round_trips())
+}
+
+/// Build the analysis document. All numbers derive from the event stream;
+/// the per-cycle critical-path totals are cross-checked against the Eq. 1
+/// aggregator (`max_path_vs_eq1_drift` reports the largest deviation).
+pub fn analyze(events: &[Event], policy: obs::StragglerPolicy) -> serde_json::Value {
+    let breakdowns = obs::cycle_breakdowns(events);
+    let mut tc = obs::LogHistogram::new();
+    for b in &breakdowns {
+        tc.record(b.total());
+    }
+    let avg = obs::average_breakdown(&breakdowns);
+    let tl = obs::timeline_stats(events, policy);
+    let global_path = obs::critical_path(events);
+    let cycle_paths = obs::cycle_critical_paths(events);
+
+    // Per-cycle path vs Eq. 1 cross-check, and which phase bounds each cycle.
+    let mut max_drift = 0.0f64;
+    let mut bound_by: std::collections::BTreeMap<&str, u64> = Default::default();
+    for cp in &cycle_paths {
+        if let Some(b) = breakdowns.iter().find(|b| b.cycle == cp.cycle) {
+            max_drift = max_drift.max((cp.path.total - b.total()).abs());
+        }
+        *bound_by.entry(cp.path.dominant).or_insert(0) += 1;
+    }
+
+    let health = obs::exchange_health(events);
+    let max_imbalance = tl.phases.iter().map(|p| p.imbalance).fold(0.0f64, f64::max);
+
+    serde_json::json!({
+        "events": events.len(),
+        "cycles": {
+            "count": breakdowns.len(),
+            "tc": {
+                "p50": tc.p50(), "p90": tc.p90(), "p99": tc.p99(),
+                "mean": tc.mean(), "min": tc.min(), "max": tc.max(),
+            },
+        },
+        "breakdown_avg": {
+            "t_md": avg.t_md,
+            "t_ex": avg.t_ex_total(),
+            "t_data": avg.t_data,
+            "t_repex_over": avg.t_repex_over,
+            "t_rp_over": avg.t_rp_over,
+        },
+        "timeline": {
+            "span": tl.span,
+            "straggler_count": tl.straggler_count,
+            "stragglers": tl.stragglers(),
+            "mean_stretch": tl.mean_stretch,
+            "max_stretch": tl.max_stretch,
+            "max_batch_imbalance": max_imbalance,
+            "replicas": tl.replicas.len(),
+        },
+        "critical_path": {
+            "total": global_path.total,
+            "span": global_path.span,
+            "slack": global_path.slack,
+            "dominant": global_path.dominant,
+            "by_category": global_path.by_category.iter()
+                .map(|(c, t)| (c.to_string(), serde_json::json!(t)))
+                .collect::<serde_json::Map<_, _>>(),
+            "cycles_bound_by": bound_by,
+            "max_path_vs_eq1_drift": max_drift,
+        },
+        "exchange_health": health.iter().map(|h| serde_json::json!({
+            "dim": h.dim,
+            "kind": h.kind.to_string(),
+            "attempts": h.attempts,
+            "accepted": h.accepted,
+            "ratio": h.ratio(),
+        })).collect::<Vec<_>>(),
+        "round_trips": round_trips_from_trace(events),
+    })
+}
+
+fn print_human(doc: &serde_json::Value) {
+    let cycles = &doc["cycles"];
+    let tc = &cycles["tc"];
+    println!("trace: {} events, {} cycles", doc["events"], cycles["count"]);
+    if cycles["count"].as_u64().unwrap_or(0) > 0 {
+        println!(
+            "Tc: p50 {}s  p90 {}s  p99 {}s  mean {}s",
+            f1(tc["p50"].as_f64().unwrap_or(0.0)),
+            f1(tc["p90"].as_f64().unwrap_or(0.0)),
+            f1(tc["p99"].as_f64().unwrap_or(0.0)),
+            f1(tc["mean"].as_f64().unwrap_or(0.0)),
+        );
+        let b = &doc["breakdown_avg"];
+        let mut table = TextTable::new(vec![
+            "avg MD (s)",
+            "avg EX (s)",
+            "avg Data (s)",
+            "avg RepEx (s)",
+            "avg RP (s)",
+        ]);
+        table.add_row(vec![
+            f1(b["t_md"].as_f64().unwrap_or(0.0)),
+            f1(b["t_ex"].as_f64().unwrap_or(0.0)),
+            f1(b["t_data"].as_f64().unwrap_or(0.0)),
+            f1(b["t_repex_over"].as_f64().unwrap_or(0.0)),
+            f1(b["t_rp_over"].as_f64().unwrap_or(0.0)),
+        ]);
+        println!("\n{}", table.render());
+    }
+
+    let tl = &doc["timeline"];
+    println!(
+        "timeline: span {}s, {} replicas, stragglers {} {:?}, MD batch stretch mean {:.2} max {:.2} (imbalance up to {}s)",
+        f1(tl["span"].as_f64().unwrap_or(0.0)),
+        tl["replicas"],
+        tl["straggler_count"],
+        tl["stragglers"].as_array().cloned().unwrap_or_default(),
+        tl["mean_stretch"].as_f64().unwrap_or(1.0),
+        tl["max_stretch"].as_f64().unwrap_or(1.0),
+        f1(tl["max_batch_imbalance"].as_f64().unwrap_or(0.0)),
+    );
+
+    let cp = &doc["critical_path"];
+    println!(
+        "critical path: {}s over a {}s span (slack {}s), bound by {}",
+        f1(cp["total"].as_f64().unwrap_or(0.0)),
+        f1(cp["span"].as_f64().unwrap_or(0.0)),
+        f1(cp["slack"].as_f64().unwrap_or(0.0)),
+        cp["dominant"].as_str().unwrap_or("?"),
+    );
+    if let Some(bound) = cp["cycles_bound_by"].as_object() {
+        if !bound.is_empty() {
+            let parts: Vec<String> = bound.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+            println!("cycles bound by: {}", parts.join(", "));
+        }
+    }
+
+    if let Some(health) = doc["exchange_health"].as_array() {
+        if !health.is_empty() {
+            let mut table = TextTable::new(vec!["Dim", "Kind", "Attempts", "Accepted", "Ratio"]);
+            for h in health {
+                table.add_row(vec![
+                    h["dim"].to_string(),
+                    h["kind"].as_str().unwrap_or("?").to_string(),
+                    h["attempts"].to_string(),
+                    h["accepted"].to_string(),
+                    format!("{:.3}", h["ratio"].as_f64().unwrap_or(0.0)),
+                ]);
+            }
+            println!("\n{}", table.render());
+        }
+    }
+    if let Some(rt) = doc["round_trips"].as_u64() {
+        println!("ladder round trips (replayed from trace): {rt}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync_cycle(cycle: u64, t0: f64) -> Vec<Event> {
+        vec![
+            Event::Overhead { scope: OverheadScope::Repex, cycle, start: t0, end: t0 + 0.5 },
+            Event::MdSegment {
+                replica: 0,
+                slot: 0,
+                cycle,
+                dim: 0,
+                attempt: 0,
+                cores: 2,
+                start: t0 + 0.5,
+                end: t0 + 8.0,
+                ok: true,
+            },
+            Event::MdSegment {
+                replica: 1,
+                slot: 1,
+                cycle,
+                dim: 0,
+                attempt: 1,
+                cores: 2,
+                start: t0 + 0.5,
+                end: t0 + 10.5,
+                ok: false,
+            },
+            Event::MdPhase { cycle, dim: 0, start: t0 + 0.5, end: t0 + 10.5 },
+            Event::DataStage { kind: 'T', dim: 0, cycle, start: t0 + 10.5, end: t0 + 11.0 },
+            Event::ExchangeOutcome {
+                dim: 0,
+                cycle,
+                slot_lo: 0,
+                slot_hi: 1,
+                accepted: cycle % 2 == 0,
+                at: t0 + 12.0,
+            },
+            Event::ExchangeWindow {
+                kind: 'T',
+                dim: 0,
+                cycle,
+                participants: 2,
+                start: t0 + 11.0,
+                end: t0 + 12.0,
+            },
+            Event::TaskRelaunch { name: "md-x".into(), slot: 1, attempt: 1, at: t0 + 1.0 },
+            Event::CacheRebuild { cycle, rebuilds: 3, at: t0 + 2.0 },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_parser() {
+        // Timestamps are multiples of 1/2^k seconds, exact at the trace's
+        // 1e-9 s precision, so the round trip reproduces every event.
+        let mut events = sync_cycle(0, 0.0);
+        events.extend(sync_cycle(1, 12.0));
+        let json = obs::chrome_trace_json(&events);
+        let parsed = parse_trace(&json).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        let sort_key = |e: &Event| format!("{e:?}");
+        let mut a: Vec<String> = events.iter().map(sort_key).collect();
+        let mut b: Vec<String> = parsed.iter().map(sort_key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn analysis_cross_checks_path_against_eq1() {
+        let mut events = sync_cycle(0, 0.0);
+        events.extend(sync_cycle(1, 12.0));
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        assert_eq!(doc["cycles"]["count"], 2);
+        let drift = doc["critical_path"]["max_path_vs_eq1_drift"].as_f64().unwrap();
+        assert!(drift < 1e-9, "drift {drift}");
+        assert_eq!(doc["critical_path"]["dominant"], "md");
+        let health = doc["exchange_health"].as_array().unwrap();
+        assert_eq!(health[0]["attempts"], 2);
+        assert_eq!(health[0]["accepted"], 1);
+        assert!((health[0]["ratio"].as_f64().unwrap() - 0.5).abs() < 1e-12);
+        // One accepted swap 0<->1 then back: one half-trip each is not a
+        // full round trip for a 2-rung ladder replay, but the key exists.
+        assert!(doc["round_trips"].is_u64());
+    }
+
+    #[test]
+    fn malformed_trace_is_a_clean_error() {
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{\"displayTimeUnit\":\"ms\"}").is_err());
+        assert!(parse_trace("{\"traceEvents\":[]}").unwrap().is_empty());
+    }
+}

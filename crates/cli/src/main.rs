@@ -7,10 +7,14 @@
 //! repex run <config.json> [--json <out.json>]   run a simulation
 //!           [--trace <trace.json>]              Chrome trace of the run
 //!           [--metrics <metrics.json>]          flat counters (failures, acceptances, ...)
+//!           [--progress <n>]                    run-health line every n cycles
+//! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
 //! repex validate <config.json>                  check a configuration
 //! repex example-config [tremd|tsu|ph]           print a starter config
 //! repex capabilities                            print the Table 1 comparison
 //! ```
+
+mod analyze;
 
 use analysis::tables::{f1, TextTable};
 use repex::config::{DimensionConfig, SimulationConfig};
@@ -21,6 +25,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("analyze") => analyze::cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("example-config") => cmd_example(&args[1..]),
         Some("capabilities") => {
@@ -46,11 +51,17 @@ fn print_usage() {
     println!(
         "repex — flexible replica-exchange molecular dynamics\n\n\
          USAGE:\n  repex run <config.json> [--json <out.json>] \
-[--trace <trace.json>] [--metrics <metrics.json>]\n  \
+[--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>]\n  \
+         repex analyze <trace.json> [--json <out.json>] \
+[--straggler-z <z>] [--straggler-ratio <r>]\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
          repex capabilities\n\n\
          --trace writes a Chrome Trace Event file (open in chrome://tracing \
-or Perfetto);\n--metrics writes a flat JSON object of counters.\n\n\
+or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
+--progress prints a run-health line every n cycles.\n\
+         analyze re-reads a --trace file and reports Tc percentiles, \
+stragglers,\nbatch imbalance, the critical path and exchange health \
+(see EXPERIMENTS.md).\n\n\
          See README.md for the configuration schema."
     );
 }
@@ -78,7 +89,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 }
 
 /// Fetch the file-path argument following `--flag`, if the flag is present.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+pub(crate) fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     args.iter()
         .position(|a| a == flag)
         .map(|i| args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a file path")))
@@ -90,7 +101,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let json_out = flag_value(args, "--json")?;
     let trace_out = flag_value(args, "--trace")?;
     let metrics_out = flag_value(args, "--metrics")?;
-    let cfg = load_config(path)?;
+    let progress = flag_value(args, "--progress")?
+        .map(|v| v.parse::<u64>().map_err(|_| format!("--progress needs a cycle count, got {v:?}")))
+        .transpose()?;
+    let mut cfg = load_config(path)?;
+    if let Some(n) = progress {
+        cfg.progress_every = n;
+    }
     let title = cfg.title.clone();
     eprintln!("running {title} ...");
     let mut sim = RemdSimulation::new(cfg)?;
@@ -267,6 +284,38 @@ mod tests {
         let metrics: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
         assert!(metrics["exchange.T.attempts"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn analyze_reads_back_a_recorded_trace() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 2);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-analyze");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let trace_path = dir.join("trace.json");
+        let out_path = dir.join("analysis.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+        cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--trace".into(),
+            trace_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        analyze::cmd_analyze(&[
+            trace_path.to_string_lossy().into_owned(),
+            "--json".into(),
+            out_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(doc["cycles"]["count"], 2);
+        assert!(doc["cycles"]["tc"]["p50"].as_f64().unwrap() > 0.0);
+        assert!(doc["critical_path"]["max_path_vs_eq1_drift"].as_f64().unwrap() < 1e-9);
+        assert_eq!(doc["critical_path"]["dominant"], "md");
+        assert!(doc["exchange_health"][0]["attempts"].as_u64().unwrap() > 0);
+        assert!(doc["round_trips"].is_u64());
     }
 
     #[test]

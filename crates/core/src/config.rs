@@ -213,6 +213,10 @@ pub struct SimulationConfig {
     /// velocities (standard equilibration-protocol hygiene).
     #[serde(default)]
     pub minimize_first: bool,
+    /// Print a run-health progress line every N cycles (0 = off): Tc
+    /// p50/p99, per-dimension acceptance, cumulative straggler flags.
+    #[serde(default)]
+    pub progress_every: u64,
 }
 
 fn default_dt() -> f64 {
@@ -269,6 +273,7 @@ impl SimulationConfig {
             },
             no_exchange: false,
             minimize_first: false,
+            progress_every: 0,
         }
     }
 

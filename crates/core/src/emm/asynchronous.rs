@@ -84,14 +84,15 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
                 if ctx.recorder.is_enabled() {
                     let (round, participants) =
                         ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
-                    ctx.recorder.record(Event::ExchangeWindow {
-                        kind: ex_letter,
-                        dim: 0,
-                        cycle: round,
+                    record_exchange_events(
+                        ctx,
+                        &report.pair_outcomes,
+                        ex_letter,
+                        round,
                         participants,
-                        start: done.start.as_secs(),
-                        end: done.end.as_secs(),
-                    });
+                        done.start.as_secs(),
+                        done.end.as_secs(),
+                    );
                 }
                 ctx.acceptance[0].merge(&report.stats);
                 ctx.apply_swaps(0, &report.swaps);
@@ -177,14 +178,15 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
                 if ctx.recorder.is_enabled() {
                     let (round, participants) =
                         ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
-                    ctx.recorder.record(Event::ExchangeWindow {
-                        kind: ex_letter,
-                        dim: 0,
-                        cycle: round,
+                    record_exchange_events(
+                        ctx,
+                        &report.pair_outcomes,
+                        ex_letter,
+                        round,
                         participants,
-                        start: done.start.as_secs(),
-                        end: done.end.as_secs(),
-                    });
+                        done.start.as_secs(),
+                        done.end.as_secs(),
+                    );
                 }
                 ctx.acceptance[0].merge(&report.stats);
                 ctx.apply_swaps(0, &report.swaps);
@@ -193,6 +195,38 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     }
 
     Ok(AsyncOutcome { makespan: ctx.pilot.executor.now().as_secs(), exchange_rounds })
+}
+
+/// Emit the per-attempt outcome events followed by their covering window
+/// record (outcomes first — the trace-replay contract).
+#[allow(clippy::too_many_arguments)]
+fn record_exchange_events(
+    ctx: &DriverCtx,
+    pair_outcomes: &[(usize, usize, bool)],
+    kind: char,
+    round: u64,
+    participants: usize,
+    start: f64,
+    end: f64,
+) {
+    for &(slot_lo, slot_hi, accepted) in pair_outcomes {
+        ctx.recorder.record(Event::ExchangeOutcome {
+            dim: 0,
+            cycle: round,
+            slot_lo,
+            slot_hi,
+            accepted,
+            at: end,
+        });
+    }
+    ctx.recorder.record(Event::ExchangeWindow {
+        kind,
+        dim: 0,
+        cycle: round,
+        participants,
+        start,
+        end,
+    });
 }
 
 /// Exchange the ready subset (adjacent-slot pairs within consecutive runs)
@@ -404,6 +438,19 @@ mod tests {
                 assert!(end > start);
             }
         }
+    }
+
+    #[test]
+    fn async_outcome_events_match_in_process_acceptance_exactly() {
+        let recorder = obs::Recorder::enabled();
+        let mut ctx = build_ctx(async_cfg(12, 4)).unwrap();
+        ctx.recorder = recorder.clone();
+        run_async(&mut ctx).unwrap();
+        let health = obs::exchange_health(&recorder.events());
+        assert_eq!(health.len(), 1);
+        assert!(health[0].attempts > 0);
+        assert_eq!(health[0].attempts, ctx.acceptance[0].attempts);
+        assert_eq!(health[0].accepted, ctx.acceptance[0].accepted);
     }
 
     #[test]

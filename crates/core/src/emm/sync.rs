@@ -20,12 +20,48 @@ use std::collections::HashMap;
 /// reports.
 pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
     let mut reports = Vec::with_capacity(ctx.cfg.n_cycles as usize);
+    let progress_every = ctx.cfg.progress_every;
+    let mut tc_hist = obs::LogHistogram::new();
+    let mut straggler_flags = 0usize;
     for cycle in 0..ctx.cfg.n_cycles {
-        let timing = run_one_cycle(ctx, cycle)?;
+        let (timing, events) = run_one_cycle(ctx, cycle)?;
+        if progress_every > 0 {
+            tc_hist.record(timing.total());
+            straggler_flags +=
+                obs::timeline_stats(&events, obs::StragglerPolicy::default()).straggler_count;
+        }
+        ctx.recorder.extend(events);
         ctx.record_rungs();
         reports.push(CycleReport { cycle, timing });
+        if progress_every > 0 && (cycle + 1) % progress_every == 0 {
+            eprintln!("{}", progress_line(ctx, cycle, &tc_hist, straggler_flags));
+        }
     }
     Ok(reports)
+}
+
+/// One live run-health line: cycle counter, Tc percentiles so far,
+/// cumulative per-dimension acceptance, cumulative straggler flags.
+fn progress_line(
+    ctx: &DriverCtx,
+    cycle: u64,
+    tc: &obs::LogHistogram,
+    straggler_flags: usize,
+) -> String {
+    let mut acc = String::new();
+    for (dim, stats) in ctx.acceptance.iter().enumerate() {
+        let letter = ctx.dim_kind(dim).letter();
+        acc.push_str(&format!(" acc[{letter}] {:.2}", stats.ratio()));
+    }
+    format!(
+        "[repex] cycle {}/{}  Tc p50 {:.2}s p99 {:.2}s {} stragglers {}",
+        cycle + 1,
+        ctx.cfg.n_cycles,
+        tc.p50(),
+        tc.p99(),
+        acc,
+        straggler_flags
+    )
 }
 
 /// Submit one MD attempt for `slot`, registering it in the relaunch
@@ -51,7 +87,7 @@ fn submit_md_attempt(
     Ok(())
 }
 
-fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String> {
+fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<(CycleTiming, Vec<Event>), String> {
     let n = ctx.n_replicas();
     let dims = ctx.grid.n_dims();
     // The cycle's event stream. The returned `CycleTiming` is *derived*
@@ -224,6 +260,21 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
         while let Some(done) = ctx.pilot.executor.next_completion() {
             match done.outcome {
                 Ok(TaskResult::Exchange(report)) => {
+                    // One outcome event per Metropolis attempt (the exchange
+                    // task records pair_outcomes in lockstep with its
+                    // AcceptanceStats), before the covering window event, so
+                    // acceptance ratios are derivable from the trace alone.
+                    let at = done.end.as_secs();
+                    for &(slot_lo, slot_hi, accepted) in &report.pair_outcomes {
+                        events.push(Event::ExchangeOutcome {
+                            dim,
+                            cycle,
+                            slot_lo,
+                            slot_hi,
+                            accepted,
+                            at,
+                        });
+                    }
                     ctx.acceptance[dim].merge(&report.stats);
                     ctx.record_pair_outcomes(&report.pair_outcomes);
                     ctx.apply_swaps(dim, &report.swaps);
@@ -266,8 +317,7 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<CycleTiming, String>
     // derived timing matches it to floating-point rounding (≪ 1e-9).
     let timing =
         obs::cycle_breakdowns(&events).first().map(timing_from_breakdown).unwrap_or_default();
-    ctx.recorder.extend(events);
-    Ok(timing)
+    Ok((timing, events))
 }
 
 #[cfg(test)]
@@ -425,6 +475,36 @@ mod tests {
         for (report, b) in reports.iter().zip(&breakdowns) {
             let rederived = timing_from_breakdown(b);
             assert_eq!(report.timing, rederived, "cycle {}", report.cycle);
+        }
+    }
+
+    #[test]
+    fn outcome_events_match_in_process_acceptance_exactly() {
+        let recorder = obs::Recorder::enabled();
+        let mut cfg = quick_cfg(8);
+        cfg.n_cycles = 4;
+        let mut ctx = build_ctx(cfg).unwrap();
+        ctx.recorder = recorder.clone();
+        run_sync(&mut ctx).unwrap();
+        let events = recorder.events();
+        let health = obs::exchange_health(&events);
+        assert_eq!(health.len(), 1);
+        assert!(health[0].attempts > 0);
+        assert_eq!(health[0].attempts, ctx.acceptance[0].attempts);
+        assert_eq!(health[0].accepted, ctx.acceptance[0].accepted);
+        assert_eq!(health[0].kind, 'T');
+        // Every outcome precedes its covering window in stream order.
+        let mut last_window_end = f64::NEG_INFINITY;
+        for event in &events {
+            match event {
+                Event::ExchangeOutcome { at, .. } => {
+                    assert!(*at > last_window_end, "outcome after its own window");
+                }
+                Event::ExchangeWindow { end, participants, .. } if *participants > 0 => {
+                    last_window_end = *end;
+                }
+                _ => {}
+            }
         }
     }
 

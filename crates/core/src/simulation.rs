@@ -151,7 +151,12 @@ impl RemdSimulation {
             for (letter, stats) in &acceptance {
                 ctx.recorder.count(&format!("exchange.{letter}.attempts"), stats.attempts);
                 ctx.recorder.count(&format!("exchange.{letter}.accepted"), stats.accepted);
+                ctx.recorder.set_gauge_f64(&format!("exchange.{letter}.ratio"), stats.ratio());
             }
+            ctx.recorder.set_gauge(
+                "exchange.round_trips_total",
+                ctx.round_trips.as_ref().map(|r| r.total_round_trips()).unwrap_or(0),
+            );
             for (i, stats) in ctx.pair_acceptance.iter().enumerate() {
                 ctx.recorder.count(&format!("pair.{i:03}.attempts"), stats.attempts);
                 ctx.recorder.count(&format!("pair.{i:03}.accepted"), stats.accepted);

@@ -23,12 +23,19 @@ impl AcceptanceStats {
         self.accepted += other.accepted;
     }
 
-    /// Acceptance ratio in [0, 1]; 0 when no attempts.
+    /// Acceptance ratio in [0, 1]; 0 when no attempts (never NaN — this
+    /// value flows into JSON metrics and report text unguarded).
     pub fn ratio(&self) -> f64 {
+        self.ratio_opt().unwrap_or(0.0)
+    }
+
+    /// Acceptance ratio, or `None` when no attempts were made — for callers
+    /// that must distinguish "nothing attempted" from "everything rejected".
+    pub fn ratio_opt(&self) -> Option<f64> {
         if self.attempts == 0 {
-            0.0
+            None
         } else {
-            self.accepted as f64 / self.attempts as f64
+            Some(self.accepted as f64 / self.attempts as f64)
         }
     }
 }
@@ -87,6 +94,8 @@ impl RoundTripTracker {
     }
 
     /// Fraction of rungs a replica has visited (1.0 = full traversal).
+    /// Always finite: `new` rejects ladders shorter than 2, so the
+    /// denominator is never zero, and zero visits yield 0.0.
     pub fn coverage(&self, replica: usize) -> f64 {
         let visited = self.visits[replica].iter().filter(|&&v| v > 0).count();
         visited as f64 / self.ladder_len as f64
@@ -96,6 +105,26 @@ impl RoundTripTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_attempts_never_produce_nan() {
+        let s = AcceptanceStats::default();
+        assert_eq!(s.ratio(), 0.0);
+        assert!(s.ratio().is_finite());
+        assert_eq!(s.ratio_opt(), None);
+
+        let mut one = AcceptanceStats::default();
+        one.record(false);
+        assert_eq!(one.ratio_opt(), Some(0.0));
+    }
+
+    #[test]
+    fn coverage_with_zero_visits_is_zero_not_nan() {
+        let rt = RoundTripTracker::new(2, 3);
+        assert_eq!(rt.coverage(0), 0.0);
+        assert!(rt.coverage(1).is_finite());
+        assert_eq!(rt.total_round_trips(), 0);
+    }
 
     #[test]
     fn acceptance_ratio_arithmetic() {

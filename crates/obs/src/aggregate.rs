@@ -70,7 +70,11 @@ pub fn cycle_breakdowns(events: &[Event]) -> Vec<CycleBreakdown> {
             }
             // MdSegment feeds utilization, not the phase decomposition: the
             // phase window already covers its segments (plus barrier idle).
-            Event::MdSegment { .. } | Event::TaskRelaunch { .. } | Event::CacheRebuild { .. } => {}
+            // ExchangeOutcome is a point event inside its window.
+            Event::MdSegment { .. }
+            | Event::TaskRelaunch { .. }
+            | Event::CacheRebuild { .. }
+            | Event::ExchangeOutcome { .. } => {}
         }
     }
     per_cycle.into_values().collect()

@@ -63,11 +63,68 @@ fn process_name(pid: u32, name: &str) -> String {
     )
 }
 
+/// `thread_name` + `thread_sort_index` metadata so viewers label rows and
+/// sort them numerically (tid 10 below tid 9, not lexically after tid 1).
+fn thread_meta(pid: u32, tid: u32, name: &str, sort_index: u32) -> String {
+    format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}},\n\
+         {{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{sort_index}}}}}",
+        escape(name)
+    )
+}
+
 /// Render the full event stream as one Chrome-trace JSON document.
 pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut parts: Vec<String> = Vec::with_capacity(events.len() + 2);
     parts.push(process_name(PID_REPLICAS, "replicas"));
     parts.push(process_name(PID_FRAMEWORK, "framework"));
+    // Row metadata: name + numeric sort index per tid actually in use.
+    let mut replicas: std::collections::BTreeSet<usize> = Default::default();
+    let mut dims: std::collections::BTreeSet<usize> = Default::default();
+    let mut fixed: std::collections::BTreeSet<u32> = Default::default();
+    for event in events {
+        match event {
+            Event::MdSegment { replica, .. } => {
+                replicas.insert(*replica);
+            }
+            Event::ExchangeWindow { dim, .. }
+            | Event::DataStage { dim, .. }
+            | Event::ExchangeOutcome { dim, .. } => {
+                dims.insert(*dim);
+            }
+            Event::MdPhase { .. } => {
+                fixed.insert(TID_MD_PHASE);
+            }
+            Event::Overhead { scope, .. } => {
+                fixed.insert(match scope {
+                    OverheadScope::Repex => TID_REPEX_OVER,
+                    OverheadScope::Rp => TID_RP_OVER,
+                });
+            }
+            Event::TaskRelaunch { .. } => {
+                fixed.insert(TID_RELAUNCH);
+            }
+            Event::CacheRebuild { .. } => {
+                fixed.insert(TID_CACHE);
+            }
+        }
+    }
+    for r in &replicas {
+        parts.push(thread_meta(PID_REPLICAS, *r as u32, &format!("replica {r}"), *r as u32));
+    }
+    for d in &dims {
+        parts.push(thread_meta(PID_FRAMEWORK, *d as u32, &format!("dim {d}"), *d as u32));
+    }
+    for tid in &fixed {
+        let name = match *tid {
+            TID_MD_PHASE => "md-phase",
+            TID_REPEX_OVER => "repex-overhead",
+            TID_RP_OVER => "rp-overhead",
+            TID_RELAUNCH => "relaunches",
+            _ => "neighbor-cache",
+        };
+        parts.push(thread_meta(PID_FRAMEWORK, *tid, name, *tid));
+    }
     for event in events {
         match event {
             Event::MdSegment { replica, slot, cycle, dim, attempt, cores, start, end, ok } => {
@@ -123,7 +180,27 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     &format!("DATA {kind} c{cycle}"),
                     *start,
                     *end,
-                    &[("cycle", cycle.to_string())],
+                    &[
+                        ("kind", format!("\"{}\"", escape(&kind.to_string()))),
+                        ("cycle", cycle.to_string()),
+                        ("dim", dim.to_string()),
+                    ],
+                ));
+            }
+            Event::ExchangeOutcome { dim, cycle, slot_lo, slot_hi, accepted, at } => {
+                parts.push(instant(
+                    PID_FRAMEWORK,
+                    *dim as u32,
+                    "exchange_outcome",
+                    &format!("EX_PAIR {slot_lo}-{slot_hi}"),
+                    *at,
+                    &[
+                        ("dim", dim.to_string()),
+                        ("cycle", cycle.to_string()),
+                        ("slot_lo", slot_lo.to_string()),
+                        ("slot_hi", slot_hi.to_string()),
+                        ("accepted", accepted.to_string()),
+                    ],
                 ));
             }
             Event::Overhead { scope, cycle, start, end } => {
@@ -205,5 +282,61 @@ mod tests {
         let json = chrome_trace_json(&[]);
         assert!(json.contains("traceEvents"));
         assert_eq!(json.matches("process_name").count(), 2);
+        assert!(!json.contains("thread_name"), "no rows, no row metadata");
+    }
+
+    #[test]
+    fn thread_metadata_labels_and_sorts_used_rows() {
+        let events = vec![
+            Event::MdSegment {
+                replica: 10,
+                slot: 10,
+                cycle: 0,
+                dim: 0,
+                attempt: 0,
+                cores: 1,
+                start: 0.0,
+                end: 1.0,
+                ok: true,
+            },
+            Event::MdPhase { cycle: 0, dim: 0, start: 0.0, end: 1.0 },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"replica 10\""), "{json}");
+        assert!(json.contains("\"sort_index\":10"), "{json}");
+        assert!(json.contains("\"name\":\"md-phase\""));
+        // Only rows in use get metadata.
+        assert!(!json.contains("relaunches"));
+        assert_eq!(
+            json.matches("thread_sort_index").count(),
+            2,
+            "one replica row + the md-phase row"
+        );
+    }
+
+    #[test]
+    fn exchange_outcomes_export_as_instants_with_args() {
+        let events = vec![Event::ExchangeOutcome {
+            dim: 1,
+            cycle: 4,
+            slot_lo: 2,
+            slot_hi: 3,
+            accepted: true,
+            at: 9.0,
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"cat\":\"exchange_outcome\""), "{json}");
+        assert!(json.contains("\"slot_lo\":2"));
+        assert!(json.contains("\"slot_hi\":3"));
+        assert!(json.contains("\"accepted\":true"));
+        assert!(json.contains("\"dim\":1"));
+    }
+
+    #[test]
+    fn data_stage_args_carry_kind_and_dim() {
+        let events = vec![Event::DataStage { kind: 'T', dim: 2, cycle: 1, start: 0.0, end: 0.5 }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"kind\":\"T\""), "{json}");
+        assert!(json.contains("\"dim\":2"), "{json}");
     }
 }

@@ -1,0 +1,328 @@
+//! Longest-chain (critical-path) analysis over the event DAG.
+//!
+//! An interval event `v` depends on `u` when `v` starts at or after `u`
+//! ends; the critical path is the dependency chain with the largest total
+//! duration. For a synchronous cycle the phase-level events (overheads → MD
+//! phase → data → exchange, per dimension) are contiguous on the virtual
+//! clock, so the per-cycle critical path sums to exactly the Eq. 1 total —
+//! the integration tests pin that to 1e-9. For asynchronous runs there are
+//! no phase events; the chain threads segment → exchange window → segment
+//! across the whole stream, honoring the windows' actual edges.
+
+use crate::event::{Event, OverheadScope};
+
+/// Chaining tolerance: `v` may start up to this many seconds before `u`
+/// ends and still count as a successor (float-rounding slack).
+const EPS: f64 = 1e-9;
+
+/// Eq. 1 bucket names used for path attribution.
+pub const CATEGORIES: [&str; 5] = ["md", "exchange", "data", "repex_over", "rp_over"];
+
+/// One interval on a critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathNode {
+    /// One of [`CATEGORIES`].
+    pub category: &'static str,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl PathNode {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A critical path plus its attribution.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Sum of durations along the chain.
+    pub total: f64,
+    /// Wall span of the analyzed intervals (first start to last end).
+    pub span: f64,
+    /// `span − total`: time not covered by the chain (parallel slack or
+    /// genuine gaps). ~0 for a synchronous cycle.
+    pub slack: f64,
+    /// Seconds on the path per Eq. 1 bucket, ordered as [`CATEGORIES`].
+    pub by_category: Vec<(&'static str, f64)>,
+    /// The bucket with the largest share of the path ("what bounds us").
+    pub dominant: &'static str,
+    /// The chain itself, in time order.
+    pub nodes: Vec<PathNode>,
+}
+
+/// Per-cycle critical path (synchronous runs).
+#[derive(Debug, Clone, Default)]
+pub struct CycleCriticalPath {
+    pub cycle: u64,
+    pub path: CriticalPath,
+}
+
+/// Phase-level node for an event, if it is a phase-level interval.
+///
+/// `MdSegment`s are *excluded* here: a cycle's segments are contained in its
+/// `MdPhase` window, and Eq. 1 charges the whole window (including barrier
+/// idle) to T_MD.
+fn phase_node(event: &Event) -> Option<(Option<u64>, PathNode)> {
+    match event {
+        Event::MdPhase { cycle, start, end, .. } => {
+            Some((Some(*cycle), PathNode { category: "md", start: *start, end: *end }))
+        }
+        Event::ExchangeWindow { cycle, start, end, .. } => {
+            Some((Some(*cycle), PathNode { category: "exchange", start: *start, end: *end }))
+        }
+        Event::DataStage { cycle, start, end, .. } => {
+            Some((Some(*cycle), PathNode { category: "data", start: *start, end: *end }))
+        }
+        Event::Overhead { scope, cycle, start, end } => {
+            let category = match scope {
+                OverheadScope::Repex => "repex_over",
+                OverheadScope::Rp => "rp_over",
+            };
+            Some((Some(*cycle), PathNode { category, start: *start, end: *end }))
+        }
+        _ => None,
+    }
+}
+
+/// Longest-duration chain over a set of intervals. O(n²) in the interval
+/// count — per-cycle sets are tiny and full-run analysis is offline.
+fn longest_chain(mut nodes: Vec<PathNode>) -> CriticalPath {
+    if nodes.is_empty() {
+        return CriticalPath { dominant: "md", ..Default::default() };
+    }
+    nodes.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.end.total_cmp(&b.end)));
+    let n = nodes.len();
+    // best[i]: largest chain duration ending with node i; prev[i] backlink.
+    let mut best: Vec<f64> = nodes.iter().map(PathNode::duration).collect();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        for j in 0..i {
+            if nodes[j].end <= nodes[i].start + EPS {
+                let candidate = best[j] + nodes[i].duration();
+                if candidate > best[i] {
+                    best[i] = candidate;
+                    prev[i] = Some(j);
+                }
+            }
+        }
+    }
+    let mut tail = 0;
+    for i in 1..n {
+        if best[i] > best[tail] {
+            tail = i;
+        }
+    }
+    let mut chain = Vec::new();
+    let mut cursor = Some(tail);
+    while let Some(i) = cursor {
+        chain.push(nodes[i].clone());
+        cursor = prev[i];
+    }
+    chain.reverse();
+
+    let span_start = nodes.iter().map(|x| x.start).fold(f64::INFINITY, f64::min);
+    let span_end = nodes.iter().map(|x| x.end).fold(f64::NEG_INFINITY, f64::max);
+    let span = (span_end - span_start).max(0.0);
+    let total = best[tail];
+    let mut by_category: Vec<(&'static str, f64)> = CATEGORIES.iter().map(|c| (*c, 0.0)).collect();
+    for node in &chain {
+        if let Some(slot) = by_category.iter_mut().find(|(c, _)| *c == node.category) {
+            slot.1 += node.duration();
+        }
+    }
+    let dominant =
+        by_category.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(c, _)| *c).unwrap_or("md");
+    CriticalPath {
+        total,
+        span,
+        slack: (span - total).max(0.0),
+        by_category,
+        dominant,
+        nodes: chain,
+    }
+}
+
+/// Critical path of each cycle, from the cycle's phase-level events.
+///
+/// Synchronous drivers emit those events back-to-back on one clock, so
+/// `path.total` equals the cycle's [`crate::CycleBreakdown::total`] to
+/// floating-point rounding.
+pub fn cycle_critical_paths(events: &[Event]) -> Vec<CycleCriticalPath> {
+    let mut per_cycle: std::collections::BTreeMap<u64, Vec<PathNode>> = Default::default();
+    for event in events {
+        if let Some((Some(cycle), node)) = phase_node(event) {
+            per_cycle.entry(cycle).or_default().push(node);
+        }
+    }
+    per_cycle
+        .into_iter()
+        .map(|(cycle, nodes)| CycleCriticalPath { cycle, path: longest_chain(nodes) })
+        .collect()
+}
+
+/// Critical path of the whole run.
+///
+/// Phase-level events are used when present (synchronous runs). Without
+/// them (asynchronous runs) the chain is built from MD segments and
+/// exchange windows — the MD → exchange → MD dependency structure of the
+/// async pattern, where a window chains only after the segments that ended
+/// before it opened.
+pub fn critical_path(events: &[Event]) -> CriticalPath {
+    let has_phases = events.iter().any(|e| matches!(e, Event::MdPhase { .. }));
+    let nodes: Vec<PathNode> = if has_phases {
+        events.iter().filter_map(|e| phase_node(e).map(|(_, n)| n)).collect()
+    } else {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::MdSegment { start, end, .. } => {
+                    Some(PathNode { category: "md", start: *start, end: *end })
+                }
+                Event::ExchangeWindow { start, end, .. } => {
+                    Some(PathNode { category: "exchange", start: *start, end: *end })
+                }
+                Event::DataStage { start, end, .. } => {
+                    Some(PathNode { category: "data", start: *start, end: *end })
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    longest_chain(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync_cycle(cycle: u64, t0: f64) -> Vec<Event> {
+        vec![
+            Event::Overhead { scope: OverheadScope::Repex, cycle, start: t0, end: t0 + 0.5 },
+            Event::Overhead { scope: OverheadScope::Rp, cycle, start: t0 + 0.5, end: t0 + 1.0 },
+            Event::MdPhase { cycle, dim: 0, start: t0 + 1.0, end: t0 + 11.0 },
+            Event::DataStage { kind: 'T', dim: 0, cycle, start: t0 + 11.0, end: t0 + 11.5 },
+            Event::ExchangeWindow {
+                kind: 'T',
+                dim: 0,
+                cycle,
+                participants: 4,
+                start: t0 + 11.5,
+                end: t0 + 12.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn contiguous_sync_cycle_has_zero_slack_and_md_dominates() {
+        let events = sync_cycle(0, 0.0);
+        let paths = cycle_critical_paths(&events);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0].path;
+        assert!((p.total - 12.5).abs() < 1e-12);
+        assert!((p.span - 12.5).abs() < 1e-12);
+        assert!(p.slack.abs() < 1e-12);
+        assert_eq!(p.dominant, "md");
+        assert_eq!(p.nodes.len(), 5, "the chain covers every phase");
+        // Per-cycle path total equals the Eq. 1 breakdown total.
+        let b = crate::aggregate::cycle_breakdowns(&events);
+        assert!((p.total - b[0].total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cycles_are_analyzed_independently() {
+        let mut events = sync_cycle(0, 0.0);
+        events.extend(sync_cycle(1, 12.5));
+        let paths = cycle_critical_paths(&events);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[1].cycle, 1);
+        assert!((paths[1].path.total - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_inside_the_phase_do_not_shadow_the_window() {
+        // The MD phase window includes barrier idle; the per-cycle path must
+        // charge the window, not a shorter inner segment chain.
+        let mut events = sync_cycle(0, 0.0);
+        events.push(Event::MdSegment {
+            replica: 0,
+            slot: 0,
+            cycle: 0,
+            dim: 0,
+            attempt: 0,
+            cores: 1,
+            start: 1.0,
+            end: 7.0,
+            ok: true,
+        });
+        let p = &cycle_critical_paths(&events)[0].path;
+        assert!((p.total - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_stream_chains_segments_through_windows() {
+        // r0: [0,10] then [12,22]; r1: [0,11]. Window [11,12] chains after
+        // r1's segment; the longest chain is r1 → window → r0's second
+        // segment = 11 + 1 + 10 = 22.
+        let seg = |replica: usize, start: f64, end: f64| Event::MdSegment {
+            replica,
+            slot: replica,
+            cycle: 0,
+            dim: 0,
+            attempt: 0,
+            cores: 1,
+            start,
+            end,
+            ok: true,
+        };
+        let events = vec![
+            seg(0, 0.0, 10.0),
+            seg(1, 0.0, 11.0),
+            Event::ExchangeWindow {
+                kind: 'T',
+                dim: 0,
+                cycle: 1,
+                participants: 2,
+                start: 11.0,
+                end: 12.0,
+            },
+            seg(0, 12.0, 22.0),
+        ];
+        let p = critical_path(&events);
+        assert!((p.total - 22.0).abs() < 1e-12, "total {}", p.total);
+        assert_eq!(p.nodes.len(), 3);
+        assert_eq!(p.dominant, "md");
+        assert!((p.span - 22.0).abs() < 1e-12);
+        assert!(p.slack.abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_appears_when_phases_overlap_or_gap() {
+        // Two parallel 10s intervals: path picks one, slack stays 0 (span
+        // 10); a gap afterwards inflates span but a chain can bridge it.
+        let events = vec![
+            Event::MdPhase { cycle: 0, dim: 0, start: 0.0, end: 10.0 },
+            Event::MdPhase { cycle: 0, dim: 1, start: 0.0, end: 10.0 },
+            Event::ExchangeWindow {
+                kind: 'T',
+                dim: 0,
+                cycle: 0,
+                participants: 2,
+                start: 15.0,
+                end: 16.0,
+            },
+        ];
+        let p = &cycle_critical_paths(&events)[0].path;
+        assert!((p.total - 11.0).abs() < 1e-12, "one phase + the window");
+        assert!((p.span - 16.0).abs() < 1e-12);
+        assert!((p.slack - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_path() {
+        let p = critical_path(&[]);
+        assert_eq!(p.total, 0.0);
+        assert!(p.nodes.is_empty());
+        assert!(cycle_critical_paths(&[]).is_empty());
+    }
+}

@@ -44,6 +44,18 @@ pub enum Event {
     ExchangeWindow { kind: char, dim: usize, cycle: u64, participants: usize, start: f64, end: f64 },
     /// One data-staging window (`T_data` contribution).
     DataStage { kind: char, dim: usize, cycle: u64, start: f64, end: f64 },
+    /// One Metropolis exchange attempt between the replicas occupying
+    /// adjacent slots `slot_lo < slot_hi` in dimension `dim`. Emitted before
+    /// the covering [`Event::ExchangeWindow`], so acceptance ratios and
+    /// round trips are derivable from the trace alone.
+    ExchangeOutcome {
+        dim: usize,
+        cycle: u64,
+        slot_lo: usize,
+        slot_hi: usize,
+        accepted: bool,
+        at: f64,
+    },
     /// Framework overhead charged to the pipeline (`T_RepEx_over` or
     /// `T_RP_over` depending on `scope`).
     Overhead { scope: OverheadScope, cycle: u64, start: f64, end: f64 },
@@ -62,6 +74,7 @@ impl Event {
             | Event::MdPhase { cycle, .. }
             | Event::ExchangeWindow { cycle, .. }
             | Event::DataStage { cycle, .. }
+            | Event::ExchangeOutcome { cycle, .. }
             | Event::Overhead { cycle, .. }
             | Event::CacheRebuild { cycle, .. } => Some(*cycle),
             Event::TaskRelaunch { .. } => None,
@@ -76,7 +89,9 @@ impl Event {
             | Event::ExchangeWindow { start, end, .. }
             | Event::DataStage { start, end, .. }
             | Event::Overhead { start, end, .. } => end - start,
-            Event::TaskRelaunch { .. } | Event::CacheRebuild { .. } => 0.0,
+            Event::TaskRelaunch { .. }
+            | Event::CacheRebuild { .. }
+            | Event::ExchangeOutcome { .. } => 0.0,
         }
     }
 }

@@ -28,6 +28,17 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// Format a float as a JSON number with shortest round-trip precision
+/// (metrics gauges, where 3 decimals would truncate ratios). Non-finite
+/// values degrade to 0 like [`num`].
+pub fn num_exact(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +55,13 @@ mod tests {
         assert_eq!(num(1.5), "1.500");
         assert_eq!(num(f64::NAN), "0");
         assert_eq!(num(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn num_exact_round_trips_and_guards_non_finite() {
+        assert_eq!(num_exact(0.25), "0.25");
+        assert_eq!(num_exact(1.0 / 3.0).parse::<f64>().unwrap(), 1.0 / 3.0);
+        assert_eq!(num_exact(f64::NAN), "0");
+        assert_eq!(num_exact(f64::NEG_INFINITY), "0");
     }
 }

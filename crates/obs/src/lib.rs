@@ -17,13 +17,21 @@
 
 pub mod aggregate;
 pub mod chrome;
+pub mod critical_path;
 pub mod event;
+pub mod health;
 pub mod json;
 pub mod recorder;
+pub mod stats;
+pub mod timeline_stats;
 
 pub use aggregate::{
     average_breakdown, cycle_breakdowns, md_busy_core_seconds, replica_spans, CycleBreakdown,
 };
 pub use chrome::chrome_trace_json;
+pub use critical_path::{critical_path, cycle_critical_paths, CriticalPath, CycleCriticalPath};
 pub use event::{Event, OverheadScope};
+pub use health::{exchange_health, implied_slot_count, replay_slot_walk, DimExchangeHealth};
 pub use recorder::Recorder;
+pub use stats::LogHistogram;
+pub use timeline_stats::{timeline_stats, StragglerPolicy, TimelineStats};

@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 struct Inner {
     events: Mutex<Vec<Event>>,
     counters: Mutex<BTreeMap<String, u64>>,
+    gauges_f64: Mutex<BTreeMap<String, f64>>,
 }
 
 /// A cloneable handle to one recording session.
@@ -73,6 +74,14 @@ impl Recorder {
         }
     }
 
+    /// Overwrite a named floating-point gauge (ratios, seconds). Non-finite
+    /// values are stored as recorded; export sanitizes them to 0.
+    pub fn set_gauge_f64(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.gauges_f64).insert(name.to_string(), value);
+        }
+    }
+
     /// Snapshot of the event stream in recording order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
@@ -97,17 +106,35 @@ impl Recorder {
         }
     }
 
+    /// Snapshot of all floating-point gauges (sorted by name).
+    pub fn gauges_f64(&self) -> BTreeMap<String, f64> {
+        match &self.inner {
+            Some(inner) => lock(&inner.gauges_f64).clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
     /// Export the event stream in Chrome Trace Event Format.
     pub fn chrome_trace_json(&self) -> String {
         chrome::chrome_trace_json(&self.events())
     }
 
-    /// Export the counters as one flat JSON object (deterministic order).
+    /// Export counters and f64 gauges as one flat JSON object, keys sorted
+    /// across both kinds. Counters shadow a same-named gauge; f64 values go
+    /// through [`crate::json::num`], so non-finite gauges export as 0.
     pub fn metrics_json(&self) -> String {
         let counters = self.counters();
+        let gauges = self.gauges_f64();
+        let mut entries: BTreeMap<String, String> = BTreeMap::new();
+        for (name, value) in &gauges {
+            entries.insert(name.clone(), crate::json::num_exact(*value));
+        }
+        for (name, value) in &counters {
+            entries.insert(name.clone(), value.to_string());
+        }
         let mut out = String::from("{\n");
-        for (i, (name, value)) in counters.iter().enumerate() {
-            let comma = if i + 1 < counters.len() { "," } else { "" };
+        for (i, (name, value)) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
             out.push_str(&format!("  \"{}\": {}{}\n", crate::json::escape(name), value, comma));
         }
         out.push('}');
@@ -197,6 +224,24 @@ mod tests {
         let b = json.find("b.second").unwrap();
         assert!(a < b, "keys sorted: {json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn f64_gauges_merge_into_metrics_json() {
+        let rec = Recorder::enabled();
+        rec.count("exchange.attempts", 10);
+        rec.set_gauge_f64("exchange.ratio.T", 0.25);
+        rec.set_gauge_f64("bad.value", f64::NAN);
+        let json = rec.metrics_json();
+        assert!(json.contains("\"exchange.ratio.T\": 0.25"), "{json}");
+        assert!(json.contains("\"exchange.attempts\": 10"), "{json}");
+        assert!(json.contains("\"bad.value\": 0"), "non-finite sanitized: {json}");
+        assert!(!json.contains("NaN"));
+        // Sorted merge across both maps.
+        let a = json.find("bad.value").unwrap();
+        let b = json.find("exchange.attempts").unwrap();
+        let c = json.find("exchange.ratio.T").unwrap();
+        assert!(a < b && b < c, "{json}");
     }
 
     #[test]
