@@ -82,11 +82,11 @@ impl FreeEnergySurface {
     /// "range" statistic for comparing surface corrugation across
     /// temperatures without being dominated by barely-sampled corners.
     pub fn finite_quantile(&self, q: f64) -> f64 {
-        let mut vals: Vec<f64> = self.f.iter().cloned().filter(|v| v.is_finite()).collect();
+        let mut vals: Vec<f64> = self.f.iter().copied().filter(|v| v.is_finite()).collect();
         if vals.is_empty() {
             return f64::NAN;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         let idx = ((vals.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         vals[idx]
     }
@@ -227,7 +227,7 @@ pub fn wham_fes_min_count(
 }
 
 fn shift_to_zero(f: &mut [f64]) {
-    let min = f.iter().cloned().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min);
+    let min = f.iter().copied().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min);
     if min.is_finite() {
         for v in f.iter_mut() {
             if v.is_finite() {
@@ -311,7 +311,7 @@ mod tests {
         assert!(fes.coverage() > 0.9, "coverage {}", fes.coverage());
         // Flat landscape: the spread of recovered F (ignoring the sparsely
         // sampled tail) should be small compared to kT-scale structure.
-        let mut vals: Vec<f64> = fes.f.iter().cloned().filter(|v| v.is_finite()).collect();
+        let mut vals: Vec<f64> = fes.f.iter().copied().filter(|v| v.is_finite()).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p90 = vals[(vals.len() as f64 * 0.9) as usize];
         assert!(p90 < 1.0, "90th percentile of F on a flat landscape: {p90} kcal/mol");

@@ -11,8 +11,8 @@ pub fn histogram_overlap(a: &[f64], b: &[f64], bins: usize) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let lo = a.iter().chain(b).cloned().fold(f64::INFINITY, f64::min);
-    let hi = a.iter().chain(b).cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
     if !(hi > lo) {
         return 1.0; // all samples identical
     }

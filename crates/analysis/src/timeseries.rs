@@ -123,8 +123,8 @@ pub fn round_trip_times(rungs: &[usize], ladder_len: usize) -> Option<RoundTripS
     Some(RoundTripSummary {
         count: times.len(),
         mean_cycles: times.iter().map(|&t| t as f64).sum::<f64>() / times.len() as f64,
-        min_cycles: *times.iter().min().unwrap(),
-        max_cycles: *times.iter().max().unwrap(),
+        min_cycles: times.iter().copied().min().unwrap_or(0),
+        max_cycles: times.iter().copied().max().unwrap_or(0),
     })
 }
 

@@ -6,12 +6,18 @@
 //! straggler flags, Mode II batch imbalance, the per-cycle critical path,
 //! and exchange health (acceptance per dimension, ladder round trips) —
 //! all from the trace alone, no access to the original process.
+//!
+//! Health findings are emitted as A1xx diagnostics in the same JSON schema
+//! and with the same exit-code convention as `repex check`: 0 clean,
+//! 1 error-level findings, 2 usage/parse error.
 
 use analysis::tables::{f1, TextTable};
+use lint::report::Report;
+use lint::Diagnostic;
 use obs::{Event, OverheadScope};
 use std::collections::BTreeSet;
 
-pub fn cmd_analyze(args: &[String]) -> Result<(), String> {
+pub fn cmd_analyze(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("analyze needs a trace file path")?;
     let json_out = crate::flag_value(args, "--json")?;
     let z = num_flag(args, "--straggler-z")?.unwrap_or(2.0);
@@ -19,14 +25,71 @@ pub fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let events = parse_trace(&text)?;
     let policy = obs::StragglerPolicy { z_threshold: z, ratio_threshold: ratio };
-    let doc = analyze(&events, policy);
+    let mut doc = analyze(&events, policy);
+    let report = Report::new(derive_diagnostics(&events, &doc), None);
     print_human(&doc);
+    if !report.is_empty() {
+        eprint!("{}", report.render_human(path));
+    }
+    let has_errors = report.has_errors();
+    doc["diagnostics"] = serde_json::to_value(&report.diagnostics).map_err(|e| e.to_string())?;
+    doc["summary"] = serde_json::to_value(report.summary).map_err(|e| e.to_string())?;
     if let Some(out) = json_out {
-        std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        let body = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[analysis written: {out}]");
     }
-    Ok(())
+    Ok(u8::from(has_errors))
+}
+
+/// Run-health diagnostics derived from the trace. A101 = a dimension that
+/// attempted exchanges and accepted none (starved ladder); A102 = exchange
+/// windows opened but no outcome was ever recorded (the exchange step
+/// produced no decisions); A103 = straggler replicas stretched their
+/// batches.
+fn derive_diagnostics(events: &[Event], doc: &serde_json::Value) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let windows = events
+        .iter()
+        .any(|e| matches!(e, Event::ExchangeWindow { participants, .. } if *participants > 0));
+    let outcomes = events.iter().any(|e| matches!(e, Event::ExchangeOutcome { .. }));
+    if windows && !outcomes {
+        out.push(Diagnostic::error(
+            "A102",
+            "exchange windows ran with participants but no exchange outcome was recorded: \
+             the exchange step produced no decisions",
+        ));
+    }
+    if let Some(health) = doc["exchange_health"].as_array() {
+        for h in health {
+            let attempts = h["attempts"].as_u64().unwrap_or(0);
+            if attempts > 0 && h["accepted"].as_u64().unwrap_or(0) == 0 {
+                out.push(
+                    Diagnostic::warning(
+                        "A101",
+                        format!(
+                            "dimension {} ({}) accepted 0 of {attempts} exchange attempts: \
+                             the ladder is starved",
+                            h["dim"],
+                            h["kind"].as_str().unwrap_or("?"),
+                        ),
+                    )
+                    .with_hint("tighten rung spacing (repex check predicts acceptance pre-run)"),
+                );
+            }
+        }
+    }
+    let stragglers = doc["timeline"]["straggler_count"].as_u64().unwrap_or(0);
+    if stragglers > 0 {
+        out.push(Diagnostic::warning(
+            "A103",
+            format!(
+                "{stragglers} straggler replica(s) stretched their MD batches: {}",
+                doc["timeline"]["stragglers"],
+            ),
+        ));
+    }
+    out
 }
 
 /// Fetch a numeric `--flag <value>` argument.
@@ -401,6 +464,48 @@ mod tests {
         // One accepted swap 0<->1 then back: one half-trip each is not a
         // full round trip for a 2-rung ladder replay, but the key exists.
         assert!(doc["round_trips"].is_u64());
+    }
+
+    fn diag_codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn healthy_trace_yields_no_diagnostics() {
+        let mut events = sync_cycle(0, 0.0);
+        events.extend(sync_cycle(1, 12.0));
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        assert!(derive_diagnostics(&events, &doc).is_empty());
+    }
+
+    #[test]
+    fn starved_ladder_warns_a101() {
+        // Cycle 1 alone: its only outcome is a rejection.
+        let events = sync_cycle(1, 0.0);
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A101"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.severity == lint::Severity::Error));
+    }
+
+    #[test]
+    fn windows_without_outcomes_is_an_error_a102() {
+        let mut events = sync_cycle(0, 0.0);
+        events.retain(|e| !matches!(e, Event::ExchangeOutcome { .. }));
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        let a102 = diags.iter().find(|d| d.code == "A102");
+        assert!(a102.is_some_and(|d| d.severity == lint::Severity::Error), "{diags:?}");
+    }
+
+    #[test]
+    fn stragglers_warn_a103() {
+        let doc = serde_json::json!({
+            "timeline": {"straggler_count": 2, "stragglers": [0, 3]},
+            "exchange_health": [],
+        });
+        let diags = derive_diagnostics(&[], &doc);
+        assert!(diag_codes(&diags).contains(&"A103"), "{diags:?}");
     }
 
     #[test]

@@ -4,45 +4,51 @@
 //! input file and a resource configuration; this binary is the equivalent:
 //!
 //! ```text
-//! repex run <config.json> [--json <out.json>]   run a simulation
+//! repex run <config.json> [--json <out.json>]   run a simulation (pre-flight linted)
 //!           [--trace <trace.json>]              Chrome trace of the run
 //!           [--metrics <metrics.json>]          flat counters (failures, acceptances, ...)
-//!           [--progress <n>]                    run-health line every n cycles
+//!           [--progress <n>] [--force]          --force runs despite error-level findings
+//! repex check <config.json> [--json <out.json>]   static plan analysis (no execution)
 //! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
 //! repex validate <config.json>                  check a configuration
 //! repex example-config [tremd|tsu|ph]           print a starter config
 //! repex capabilities                            print the Table 1 comparison
 //! ```
+//!
+//! Exit codes (shared by `check` and `analyze`, honored by `run`):
+//! 0 = clean, 1 = error-level findings, 2 = usage/IO/parse error.
 
 mod analyze;
 
 use analysis::tables::{f1, TextTable};
+use lint::report::Report;
 use repex::config::{DimensionConfig, SimulationConfig};
 use repex::simulation::RemdSimulation;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result: Result<u8, String> = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("analyze") => analyze::cmd_analyze(&args[1..]),
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("example-config") => cmd_example(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]).map(|()| 0),
+        Some("example-config") => cmd_example(&args[1..]).map(|()| 0),
         Some("capabilities") => {
             println!("{}", repex::capabilities::render_table1_markdown());
-            Ok(())
+            Ok(0)
         }
         Some("--help") | Some("-h") | None => {
             print_usage();
-            Ok(())
+            Ok(0)
         }
         Some(other) => Err(format!("unknown command {other:?} (try --help)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -51,18 +57,25 @@ fn print_usage() {
     println!(
         "repex — flexible replica-exchange molecular dynamics\n\n\
          USAGE:\n  repex run <config.json> [--json <out.json>] \
-[--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>]\n  \
+[--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>] [--force]\n  \
+         repex check <config.json> [--json <diag.json>]\n  \
          repex analyze <trace.json> [--json <out.json>] \
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
          repex capabilities\n\n\
+         check lints the plan without executing it: schedulability, exchange \
+core\nrequirements, async liveness, ladder acceptance, pairing coverage and \
+fault\npolicy (rule catalog in DESIGN.md §9). run performs the same pass and \
+refuses\nerror-level findings unless --force.\n\
          --trace writes a Chrome Trace Event file (open in chrome://tracing \
 or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
 --progress prints a run-health line every n cycles.\n\
          analyze re-reads a --trace file and reports Tc percentiles, \
 stragglers,\nbatch imbalance, the critical path and exchange health \
 (see EXPERIMENTS.md).\n\n\
-         See README.md for the configuration schema."
+         Exit codes for check/analyze/run: 0 clean, 1 error-level findings, \
+2 usage error.\n\
+         See README.md for the configuration schema and diagnostics JSON."
     );
 }
 
@@ -96,17 +109,54 @@ pub(crate) fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, 
         .transpose()
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+/// `repex check`: lint a plan without executing it. Exit 0 = clean,
+/// 1 = error-level findings, 2 = usage/parse error (via `Err`).
+fn cmd_check(args: &[String]) -> Result<u8, String> {
+    let path = args.first().ok_or("check needs a config file path")?;
+    let json_out = flag_value(args, "--json")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg = SimulationConfig::from_json(&text)?;
+    let diags = lint::lint_config(&cfg, &lint::LintOptions::default());
+    let report = Report::new(diags, Some(&text));
+    print!("{}", report.render_human(path));
+    if let Some(out) = json_out {
+        std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[diagnostics written: {out}]");
+    }
+    Ok(u8::from(report.has_errors()))
+}
+
+fn cmd_run(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("run needs a config file path")?;
     let json_out = flag_value(args, "--json")?;
     let trace_out = flag_value(args, "--trace")?;
     let metrics_out = flag_value(args, "--metrics")?;
+    let force = args.iter().any(|a| a == "--force");
     let progress = flag_value(args, "--progress")?
         .map(|v| v.parse::<u64>().map_err(|_| format!("--progress needs a cycle count, got {v:?}")))
         .transpose()?;
-    let mut cfg = load_config(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut cfg = SimulationConfig::from_json(&text)?;
     if let Some(n) = progress {
         cfg.progress_every = n;
+    }
+
+    // Pre-flight: the same pass as `repex check`; error-level findings
+    // refuse to run unless --force.
+    let preflight = Report::new(lint::lint_config(&cfg, &lint::LintOptions::default()), Some(&text));
+    if !preflight.is_empty() {
+        eprint!("{}", preflight.render_human(path));
+    }
+    if preflight.has_errors() {
+        if force {
+            eprintln!(
+                "[--force: running despite {} error-level finding(s)]",
+                preflight.summary.errors
+            );
+        } else {
+            eprintln!("refusing to run: fix the plan or pass --force");
+            return Ok(1);
+        }
     }
     let title = cfg.title.clone();
     eprintln!("running {title} ...");
@@ -172,8 +222,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                                    "accepted": a.accepted, "ratio": a.ratio()})
             }).collect::<Vec<_>>(),
         });
-        std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        let body = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[report written: {out}]");
     }
     if let Some(out) = trace_out {
@@ -186,11 +236,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[metrics written: {out}]");
     }
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_example(args: &[String]) -> Result<(), String> {
-    let kind = args.first().map(String::as_str).unwrap_or("tremd");
+    let kind = args.first().map_or("tremd", String::as_str);
     let cfg = match kind {
         "tremd" => SimulationConfig::t_remd(24, 6000, 4),
         "tsu" => {
@@ -248,12 +298,13 @@ mod tests {
         let cfg_path = dir.join("run.json");
         let out_path = dir.join("report.json");
         std::fs::write(&cfg_path, cfg.to_json()).unwrap();
-        cmd_run(&[
+        let code = cmd_run(&[
             cfg_path.to_string_lossy().into_owned(),
             "--json".into(),
             out_path.to_string_lossy().into_owned(),
         ])
         .unwrap();
+        assert_eq!(code, 0, "warnings must not affect the exit code");
         let report: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(report["n_replicas"], 4);
@@ -270,14 +321,17 @@ mod tests {
         let trace_path = dir.join("trace.json");
         let metrics_path = dir.join("metrics.json");
         std::fs::write(&cfg_path, cfg.to_json()).unwrap();
-        cmd_run(&[
-            cfg_path.to_string_lossy().into_owned(),
-            "--trace".into(),
-            trace_path.to_string_lossy().into_owned(),
-            "--metrics".into(),
-            metrics_path.to_string_lossy().into_owned(),
-        ])
-        .unwrap();
+        assert_eq!(
+            cmd_run(&[
+                cfg_path.to_string_lossy().into_owned(),
+                "--trace".into(),
+                trace_path.to_string_lossy().into_owned(),
+                "--metrics".into(),
+                metrics_path.to_string_lossy().into_owned(),
+            ])
+            .unwrap(),
+            0
+        );
         let trace: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
         assert!(!trace["traceEvents"].as_array().unwrap().is_empty());
@@ -296,18 +350,24 @@ mod tests {
         let trace_path = dir.join("trace.json");
         let out_path = dir.join("analysis.json");
         std::fs::write(&cfg_path, cfg.to_json()).unwrap();
-        cmd_run(&[
-            cfg_path.to_string_lossy().into_owned(),
-            "--trace".into(),
-            trace_path.to_string_lossy().into_owned(),
-        ])
-        .unwrap();
-        analyze::cmd_analyze(&[
-            trace_path.to_string_lossy().into_owned(),
-            "--json".into(),
-            out_path.to_string_lossy().into_owned(),
-        ])
-        .unwrap();
+        assert_eq!(
+            cmd_run(&[
+                cfg_path.to_string_lossy().into_owned(),
+                "--trace".into(),
+                trace_path.to_string_lossy().into_owned(),
+            ])
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            analyze::cmd_analyze(&[
+                trace_path.to_string_lossy().into_owned(),
+                "--json".into(),
+                out_path.to_string_lossy().into_owned(),
+            ])
+            .unwrap(),
+            0
+        );
         let doc: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(doc["cycles"]["count"], 2);
@@ -323,5 +383,62 @@ mod tests {
         assert!(cmd_validate(&["/no/such/file.json".to_string()]).is_err());
         assert!(cmd_run(&[]).is_err());
         assert!(cmd_run(&["cfg.json".into(), "--trace".into()]).is_err());
+        assert!(cmd_check(&[]).is_err());
+        assert!(cmd_check(&["/no/such/file.json".to_string()]).is_err());
+    }
+
+    /// A structurally valid plan whose Salt groups need more cores than the
+    /// pilot has: the L201 error-level finding.
+    fn underprovisioned_salt_cfg() -> SimulationConfig {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 2);
+        cfg.surrogate_steps = 5;
+        cfg.dimensions = vec![
+            DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 4 },
+            DimensionConfig::Salt { min_molar: 0.0, max_molar: 1.0, count: 4 },
+        ];
+        cfg.resource.cores = Some(2);
+        cfg
+    }
+
+    #[test]
+    fn check_exit_codes_track_error_findings() {
+        let dir = std::env::temp_dir().join("repex-cli-check");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let clean = dir.join("clean.json");
+        std::fs::write(&clean, SimulationConfig::t_remd(8, 600, 2).to_json()).unwrap();
+        assert_eq!(cmd_check(&[clean.to_string_lossy().into_owned()]).unwrap(), 0);
+
+        let bad = dir.join("bad.json");
+        let diag = dir.join("diag.json");
+        std::fs::write(&bad, underprovisioned_salt_cfg().to_json()).unwrap();
+        let code = cmd_check(&[
+            bad.to_string_lossy().into_owned(),
+            "--json".into(),
+            diag.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert_eq!(code, 1, "error-level findings exit 1");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&diag).unwrap()).unwrap();
+        assert!(doc["summary"]["errors"].as_u64().unwrap() >= 1);
+        assert!(doc["diagnostics"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|d| d["code"] == "L201" && d["severity"] == "error"));
+    }
+
+    #[test]
+    fn run_refuses_error_findings_unless_forced() {
+        let dir = std::env::temp_dir().join("repex-cli-force");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, underprovisioned_salt_cfg().to_json()).unwrap();
+        let args = vec![path.to_string_lossy().into_owned()];
+        assert_eq!(cmd_run(&args).unwrap(), 1, "refused without --force");
+        let mut forced = args;
+        forced.push("--force".into());
+        assert_eq!(cmd_run(&forced).unwrap(), 0, "--force overrides the gate");
     }
 }

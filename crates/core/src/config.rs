@@ -7,9 +7,12 @@
 //! (cluster, cores, backend) — the two halves the framework deliberately
 //! decouples.
 
+use crate::diag::{Diagnostic, Severity};
 use exchange::multidim::ParamGrid;
 use exchange::pairing::PairingStrategy;
 use exchange::param::Dimension;
+use hpc::perfmodel::{EngineKind, PerfModel};
+use hpc::ClusterSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which MD engine family (and executable) runs the simulation phase.
@@ -105,6 +108,127 @@ pub enum DimensionConfig {
 }
 
 impl DimensionConfig {
+    /// Structural checks this dimension must pass before [`Self::build`]
+    /// can run (the ladder constructors assert on bad input). `idx` is the
+    /// dimension's position in the config, used for the diagnostic path.
+    pub fn check(&self, idx: usize) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let at = |field: &str| format!("/dimensions/{idx}/{field}");
+        match self {
+            DimensionConfig::Temperature { min_k, max_k, count } => {
+                if *count == 0 {
+                    out.push(
+                        Diagnostic::error("C010", format!("dimension {idx}: zero rungs"))
+                            .with_path(at("count"))
+                            .with_hint("a dimension needs at least 1 rung (replica per rung)"),
+                    );
+                }
+                if *min_k <= 0.0 || *max_k < *min_k {
+                    out.push(
+                        Diagnostic::error(
+                            "C011",
+                            format!(
+                                "dimension {idx}: temperature range {min_k}..{max_k} K invalid"
+                            ),
+                        )
+                        .with_path(at("min-k"))
+                        .with_hint("require 0 < min-k <= max-k"),
+                    );
+                }
+            }
+            DimensionConfig::TemperatureList { temps_k } => {
+                if temps_k.is_empty() {
+                    out.push(
+                        Diagnostic::error("C010", format!("dimension {idx}: zero rungs"))
+                            .with_path(at("temps-k"))
+                            .with_hint("list at least one temperature"),
+                    );
+                } else if temps_k[0] <= 0.0 || temps_k.windows(2).any(|w| w[1] <= w[0]) {
+                    out.push(
+                        Diagnostic::error(
+                            "C012",
+                            format!(
+                                "dimension {idx}: temperatures must be positive and strictly \
+                                 increasing (duplicates are not allowed)"
+                            ),
+                        )
+                        .with_path(at("temps-k"))
+                        .with_hint("sort the ladder and remove duplicate rungs"),
+                    );
+                }
+            }
+            DimensionConfig::Umbrella { count, k_deg, .. } => {
+                if *count == 0 {
+                    out.push(
+                        Diagnostic::error("C010", format!("dimension {idx}: zero rungs"))
+                            .with_path(at("count"))
+                            .with_hint("a dimension needs at least 1 rung (replica per rung)"),
+                    );
+                }
+                if *k_deg <= 0.0 {
+                    out.push(
+                        Diagnostic::error(
+                            "C013",
+                            format!("dimension {idx}: force constant k-deg must be positive"),
+                        )
+                        .with_path(at("k-deg")),
+                    );
+                }
+            }
+            DimensionConfig::Salt { min_molar, max_molar, count } => {
+                if *count == 0 {
+                    out.push(
+                        Diagnostic::error("C010", format!("dimension {idx}: zero rungs"))
+                            .with_path(at("count"))
+                            .with_hint("a dimension needs at least 1 rung (replica per rung)"),
+                    );
+                }
+                if *min_molar < 0.0 || *max_molar < *min_molar {
+                    out.push(
+                        Diagnostic::error(
+                            "C011",
+                            format!(
+                                "dimension {idx}: salt range {min_molar}..{max_molar} M invalid"
+                            ),
+                        )
+                        .with_path(at("min-molar"))
+                        .with_hint("require 0 <= min-molar <= max-molar"),
+                    );
+                }
+            }
+            DimensionConfig::Ph { min_ph, max_ph, count } => {
+                if *count == 0 {
+                    out.push(
+                        Diagnostic::error("C010", format!("dimension {idx}: zero rungs"))
+                            .with_path(at("count"))
+                            .with_hint("a dimension needs at least 1 rung (replica per rung)"),
+                    );
+                }
+                if *max_ph < *min_ph {
+                    out.push(
+                        Diagnostic::error(
+                            "C011",
+                            format!("dimension {idx}: pH range {min_ph}..{max_ph} invalid"),
+                        )
+                        .with_path(at("min-ph")),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Rung count of this dimension.
+    pub fn count(&self) -> usize {
+        match self {
+            DimensionConfig::Temperature { count, .. }
+            | DimensionConfig::Umbrella { count, .. }
+            | DimensionConfig::Salt { count, .. }
+            | DimensionConfig::Ph { count, .. } => *count,
+            DimensionConfig::TemperatureList { temps_k } => temps_k.len(),
+        }
+    }
+
     pub fn build(&self) -> Dimension {
         match self {
             DimensionConfig::Temperature { min_k, max_k, count } => {
@@ -199,6 +323,15 @@ pub struct SimulationConfig {
     pub production_after_cycle: u64,
     #[serde(default = "default_fault_policy")]
     pub fault_policy: FaultPolicy,
+    /// Mean time between failures injected per running task, in seconds
+    /// (`None` = no failure injection). Pairs with `fault-policy`.
+    #[serde(default)]
+    pub fault_mtbf_seconds: Option<f64>,
+    /// Asynchronous pattern only: minimum number of ready replicas before a
+    /// tick flushes an exchange round (a FIFO-style window; `None` = flush
+    /// whatever is ready). Must be at least 2 when set.
+    #[serde(default)]
+    pub async_min_ready: Option<usize>,
     #[serde(default = "default_pairing")]
     pub pairing: PairingStrategy,
     #[serde(default)]
@@ -262,6 +395,8 @@ impl SimulationConfig {
             sample_warmup: 0,
             production_after_cycle: 0,
             fault_policy: default_fault_policy(),
+            fault_mtbf_seconds: None,
+            async_min_ready: None,
             pairing: default_pairing(),
             seed: 1,
             resource: ResourceConfig {
@@ -313,69 +448,188 @@ impl SimulationConfig {
         }
     }
 
-    /// Sanity-check the whole document.
+    /// Sanity-check the whole document. Thin wrapper over
+    /// [`Self::validate_diagnostics`]: the first Error-level finding becomes
+    /// the `Err` message.
     pub fn validate(&self) -> Result<(), String> {
-        let grid = self.build_grid()?;
+        match self.validate_diagnostics().into_iter().find(|d| d.severity == Severity::Error) {
+            Some(d) => Err(d.message),
+            None => Ok(()),
+        }
+    }
+
+    /// Structural validation as typed diagnostics (`C0xx` codes). The `lint`
+    /// crate folds these into its report; [`Self::validate`] surfaces the
+    /// first error for callers that only need pass/fail.
+    pub fn validate_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if self.dimensions.is_empty() {
+            out.push(
+                Diagnostic::error("C001", "dimensions list is empty")
+                    .with_path("/dimensions")
+                    .with_hint("declare at least one exchange dimension"),
+            );
+        }
+        for (i, d) in self.dimensions.iter().enumerate() {
+            out.extend(d.check(i));
+        }
         if self.steps_per_cycle == 0 {
-            return Err("steps-per-cycle must be positive".into());
+            out.push(
+                Diagnostic::error("C020", "steps-per-cycle must be positive")
+                    .with_path("/steps-per-cycle"),
+            );
         }
         if self.n_cycles == 0 {
-            return Err("n-cycles must be positive".into());
+            out.push(Diagnostic::error("C021", "n-cycles must be positive").with_path("/n-cycles"));
         }
         if self.dt_ps <= 0.0 {
-            return Err("dt-ps must be positive".into());
+            out.push(Diagnostic::error("C022", "dt-ps must be positive").with_path("/dt-ps"));
         }
         if self.resource.cores_per_replica == 0 {
-            return Err("cores-per-replica must be positive".into());
+            out.push(
+                Diagnostic::error("C030", "cores-per-replica must be positive")
+                    .with_path("/resource/cores-per-replica"),
+            );
         }
-        let cluster = self.cluster()?;
-        let n = grid.n_slots();
-        if let Some(cores) = self.resource.cores {
-            if cores == 0 {
-                return Err("cores must be positive".into());
-            }
-            if cores < self.resource.cores_per_replica {
-                return Err(format!(
-                    "pilot cores {cores} < cores-per-replica {}",
-                    self.resource.cores_per_replica
-                ));
-            }
-            if cores > cluster.total_cores() {
-                return Err(format!(
-                    "pilot cores {cores} exceed cluster capacity {}",
-                    cluster.total_cores()
-                ));
-            }
-        } else {
-            let needed = n * self.resource.cores_per_replica;
-            if needed > cluster.total_cores() {
-                return Err(format!(
-                    "Execution Mode I needs {needed} cores but {} has {}; set resource.cores \
-                     for Execution Mode II",
-                    cluster.name,
-                    cluster.total_cores()
-                ));
+        // The grid (and anything needing the replica count) only exists once
+        // the per-dimension structure is sound.
+        let mut grid = None;
+        if !crate::diag::has_errors(&out) {
+            match self.build_grid() {
+                Ok(g) => grid = Some(g),
+                // Sound dimensions can still fail grid assembly (>3 dims).
+                Err(e) => out.push(Diagnostic::error("C002", e).with_path("/dimensions")),
             }
         }
-        if matches!(self.pattern, Pattern::Asynchronous { .. }) && grid.n_dims() > 1 {
-            return Err("the asynchronous pattern currently supports 1-D REMD only".into());
+        let cluster = match self.cluster() {
+            Ok(c) => Some(c),
+            Err(e) => {
+                out.push(Diagnostic::error("C031", e).with_path("/resource/cluster"));
+                None
+            }
+        };
+        if let (Some(grid), Some(cluster)) = (&grid, &cluster) {
+            let n = grid.n_slots();
+            if let Some(cores) = self.resource.cores {
+                if cores == 0 {
+                    out.push(
+                        Diagnostic::error("C032", "cores must be positive")
+                            .with_path("/resource/cores"),
+                    );
+                } else {
+                    if cores < self.resource.cores_per_replica {
+                        out.push(
+                            Diagnostic::error(
+                                "C033",
+                                format!(
+                                    "pilot cores {cores} < cores-per-replica {}",
+                                    self.resource.cores_per_replica
+                                ),
+                            )
+                            .with_path("/resource/cores"),
+                        );
+                    }
+                    if cores > cluster.total_cores() {
+                        out.push(
+                            Diagnostic::error(
+                                "C034",
+                                format!(
+                                    "pilot cores {cores} exceed cluster capacity {}",
+                                    cluster.total_cores()
+                                ),
+                            )
+                            .with_path("/resource/cores"),
+                        );
+                    }
+                }
+            } else {
+                let needed = n * self.resource.cores_per_replica;
+                if needed > cluster.total_cores() {
+                    out.push(
+                        Diagnostic::error(
+                            "C035",
+                            format!(
+                                "Execution Mode I needs {needed} cores but {} has {}; set \
+                                 resource.cores for Execution Mode II",
+                                cluster.name,
+                                cluster.total_cores()
+                            ),
+                        )
+                        .with_path("/resource/cores")
+                        .with_hint("set resource.cores below the replica total for Mode II"),
+                    );
+                }
+            }
+            if matches!(self.pattern, Pattern::Asynchronous { .. }) && grid.n_dims() > 1 {
+                out.push(
+                    Diagnostic::error(
+                        "C040",
+                        "the asynchronous pattern currently supports 1-D REMD only",
+                    )
+                    .with_path("/pattern"),
+                );
+            }
         }
         if let Pattern::Asynchronous { tick_fraction } = self.pattern {
             if tick_fraction <= 0.0 {
-                return Err("async tick-fraction must be positive".into());
+                out.push(
+                    Diagnostic::error("C041", "async tick-fraction must be positive")
+                        .with_path("/pattern/tick-fraction"),
+                );
+            }
+        }
+        if let Some(m) = self.async_min_ready {
+            if m < 2 {
+                out.push(
+                    Diagnostic::error("C042", "async-min-ready must be at least 2 when set")
+                        .with_path("/async-min-ready")
+                        .with_hint("an exchange needs at least one candidate pair"),
+                );
+            }
+            if self.pattern == Pattern::Synchronous {
+                out.push(
+                    Diagnostic::warning(
+                        "C043",
+                        "async-min-ready has no effect under the synchronous pattern",
+                    )
+                    .with_path("/async-min-ready"),
+                );
+            }
+        }
+        if let Some(mtbf) = self.fault_mtbf_seconds {
+            if mtbf <= 0.0 {
+                out.push(
+                    Diagnostic::error("C044", "fault-mtbf-seconds must be positive when set")
+                        .with_path("/fault-mtbf-seconds"),
+                );
             }
         }
         match self.resource.backend.as_str() {
             "simulated" | "local" => {}
-            other => return Err(format!("unknown backend {other:?} (simulated|local)")),
+            other => out.push(
+                Diagnostic::error("C036", format!("unknown backend {other:?} (simulated|local)"))
+                    .with_path("/resource/backend"),
+            ),
         }
         if self.resource.use_gpu && self.resource.cores_per_replica > 1 {
-            return Err("use-gpu assigns one GPU per replica; cores-per-replica must be 1".into());
+            out.push(
+                Diagnostic::error(
+                    "C037",
+                    "use-gpu assigns one GPU per replica; cores-per-replica must be 1",
+                )
+                .with_path("/resource/use-gpu"),
+            );
         }
         if self.resource.use_gpu && self.engine != EngineChoice::Amber {
-            return Err("GPU support is currently available for the Amber family only".into());
+            out.push(
+                Diagnostic::error(
+                    "C038",
+                    "GPU support is currently available for the Amber family only",
+                )
+                .with_path("/resource/use-gpu"),
+            );
         }
-        Ok(())
+        out
     }
 
     /// Pilot core count: explicit, or Mode I default (all replicas
@@ -390,6 +644,41 @@ impl SimulationConfig {
     pub fn execution_mode(&self) -> Result<u8, String> {
         let needed = self.n_replicas()? * self.resource.cores_per_replica;
         Ok(if self.pilot_cores()? >= needed { 1 } else { 2 })
+    }
+
+    /// The engine-kind charged by the cost model for MD tasks.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.engine {
+            EngineChoice::Namd => EngineKind::Namd2,
+            EngineChoice::Gromacs => EngineKind::GmxMdrun,
+            EngineChoice::Amber => {
+                if self.resource.use_gpu {
+                    EngineKind::PmemdCuda
+                } else if self.resource.cores_per_replica > 1 {
+                    EngineKind::PmemdMpi
+                } else {
+                    EngineKind::Sander
+                }
+            }
+        }
+    }
+
+    /// Atom count charged to the performance model (`cost_atoms` override,
+    /// else the workload's real atom count, else the paper's 2 881).
+    pub fn model_atoms(&self) -> usize {
+        self.cost_atoms
+            .unwrap_or_else(|| self.workload.as_ref().map_or(2881, |w| w.real_atoms()))
+    }
+
+    /// Modeled wall seconds of one MD segment on the given cluster.
+    pub fn md_segment_seconds(&self, perf: &PerfModel, cluster: &ClusterSpec) -> f64 {
+        perf.md.md_seconds(
+            self.engine_kind(),
+            self.model_atoms(),
+            self.steps_per_cycle,
+            self.resource.cores_per_replica,
+            cluster.core_speed,
+        )
     }
 }
 
@@ -502,5 +791,108 @@ mod tests {
         c.resource.cores_per_replica = 4;
         assert_eq!(c.pilot_cores().unwrap(), 64);
         assert_eq!(c.execution_mode().unwrap(), 1);
+    }
+
+    fn codes(c: &SimulationConfig) -> Vec<String> {
+        c.validate_diagnostics().into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn empty_dimension_list_rejected() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.dimensions.clear();
+        assert!(c.validate().is_err());
+        assert!(codes(&c).contains(&"C001".to_string()));
+    }
+
+    #[test]
+    fn zero_replica_dimension_rejected_without_panic() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.dimensions =
+            vec![DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 0 }];
+        // Must be a structured error, not a ladder-constructor panic.
+        assert!(c.validate().is_err());
+        let diags = c.validate_diagnostics();
+        let d = diags.iter().find(|d| d.code == "C010").expect("zero-rung diagnostic");
+        assert_eq!(d.path.as_deref(), Some("/dimensions/0/count"));
+    }
+
+    #[test]
+    fn duplicate_temperatures_rejected_without_panic() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.dimensions =
+            vec![DimensionConfig::TemperatureList { temps_k: vec![300.0, 300.0, 320.0] }];
+        assert!(c.validate().is_err());
+        assert!(codes(&c).contains(&"C012".to_string()));
+        // Non-increasing is the same defect.
+        c.dimensions = vec![DimensionConfig::TemperatureList { temps_k: vec![320.0, 300.0] }];
+        assert!(codes(&c).contains(&"C012".to_string()));
+        // Empty list is a zero-rung dimension.
+        c.dimensions = vec![DimensionConfig::TemperatureList { temps_k: vec![] }];
+        assert!(codes(&c).contains(&"C010".to_string()));
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.dimensions =
+            vec![DimensionConfig::Temperature { min_k: 373.0, max_k: 273.0, count: 4 }];
+        assert!(codes(&c).contains(&"C011".to_string()));
+        c.dimensions = vec![DimensionConfig::Umbrella {
+            dihedral: "phi".into(),
+            count: 4,
+            k_deg: 0.0,
+        }];
+        assert!(codes(&c).contains(&"C013".to_string()));
+        c.dimensions =
+            vec![DimensionConfig::Salt { min_molar: -0.5, max_molar: 1.0, count: 4 }];
+        assert!(codes(&c).contains(&"C011".to_string()));
+    }
+
+    #[test]
+    fn async_min_ready_validated() {
+        let mut c = SimulationConfig::t_remd(8, 100, 2);
+        c.pattern = Pattern::Asynchronous { tick_fraction: 0.25 };
+        c.async_min_ready = Some(1);
+        assert!(codes(&c).contains(&"C042".to_string()));
+        c.async_min_ready = Some(4);
+        c.validate().unwrap();
+        // On a synchronous plan the knob is inert: warn, don't fail.
+        c.pattern = Pattern::Synchronous;
+        assert!(codes(&c).contains(&"C043".to_string()));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_mtbf_validated() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.fault_mtbf_seconds = Some(0.0);
+        assert!(c.validate().is_err());
+        c.fault_mtbf_seconds = Some(3600.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_diagnostics_collects_multiple_findings() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.steps_per_cycle = 0;
+        c.n_cycles = 0;
+        c.dt_ps = -1.0;
+        let found = codes(&c);
+        for code in ["C020", "C021", "C022"] {
+            assert!(found.contains(&code.to_string()), "missing {code} in {found:?}");
+        }
+        // validate() surfaces the first error.
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn model_helpers_match_driver_expectations() {
+        let c = SimulationConfig::t_remd(8, 6000, 2);
+        assert_eq!(c.model_atoms(), 2881);
+        assert_eq!(c.engine_kind(), EngineKind::Sander);
+        let cluster = c.cluster().unwrap();
+        let t = c.md_segment_seconds(&PerfModel::default(), &cluster);
+        assert!((t - 139.6).abs() < 1e-9, "sander calibration point: {t}");
     }
 }

@@ -40,6 +40,9 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     let n_segments = ctx.cfg.n_cycles;
     let tick = tick_fraction * ctx.md_model_seconds();
     assert!(tick > 0.0);
+    // FIFO-style window: a tick only flushes once this many replicas are
+    // ready (default 1 = flush whatever is ready, the paper's behaviour).
+    let min_ready = ctx.cfg.async_min_ready.unwrap_or(1).max(1);
 
     // Submit the first segment for every replica.
     let mut in_flight: HashMap<String, (usize, u32)> = HashMap::new();
@@ -56,7 +59,7 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     while let Some(done) = ctx.pilot.executor.next_completion() {
         match done.outcome {
             Ok(TaskResult::Md(ref md)) => {
-                let attempt = in_flight.remove(&done.name).map(|(_, a)| a).unwrap_or(0);
+                let attempt = in_flight.remove(&done.name).map_or(0, |(_, a)| a);
                 ctx.md_core_seconds += done.duration() * done.cores as f64;
                 ctx.recorder.record(Event::MdSegment {
                     replica: md.replica,
@@ -140,7 +143,7 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
         // Tick criterion: when the (virtual) clock crosses a tick boundary,
         // the ready subset exchanges and resumes.
         let now = ctx.pilot.executor.now().as_secs();
-        if now >= next_tick && !ready.is_empty() {
+        if now >= next_tick && ready.len() >= min_ready {
             while next_tick <= now {
                 next_tick += tick;
             }
@@ -155,7 +158,7 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
         flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight, &mut ex_meta)?;
         while let Some(done) = ctx.pilot.executor.next_completion() {
             if let Ok(TaskResult::Md(md)) = &done.outcome {
-                let attempt = in_flight.remove(&done.name).map(|(_, a)| a).unwrap_or(0);
+                let attempt = in_flight.remove(&done.name).map_or(0, |(_, a)| a);
                 ctx.md_core_seconds += done.duration() * done.cores as f64;
                 ctx.recorder.record(Event::MdSegment {
                     replica: md.replica,
@@ -451,6 +454,31 @@ mod tests {
         assert!(health[0].attempts > 0);
         assert_eq!(health[0].attempts, ctx.acceptance[0].attempts);
         assert_eq!(health[0].accepted, ctx.acceptance[0].accepted);
+    }
+
+    #[test]
+    fn min_ready_window_still_completes_all_segments() {
+        let mut cfg = async_cfg(8, 3);
+        cfg.async_min_ready = Some(4);
+        let mut ctx = build_ctx(cfg).unwrap();
+        let out = run_async(&mut ctx).unwrap();
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 3, "replica {} incomplete", r.id);
+        }
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn barrier_sized_min_ready_degenerates_but_terminates() {
+        // min-ready == n acts like a global barrier; the run must still
+        // finish (the leftover loop flushes the final rounds).
+        let mut cfg = async_cfg(6, 2);
+        cfg.async_min_ready = Some(6);
+        let mut ctx = build_ctx(cfg).unwrap();
+        run_async(&mut ctx).unwrap();
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 2);
+        }
     }
 
     #[test]

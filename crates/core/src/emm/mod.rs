@@ -79,37 +79,17 @@ impl DriverCtx {
 
     /// Atom count charged to the performance model.
     pub fn cost_atoms(&self) -> usize {
-        self.cfg
-            .cost_atoms
-            .unwrap_or_else(|| self.cfg.workload.as_ref().map(|w| w.real_atoms()).unwrap_or(2881))
+        self.cfg.model_atoms()
     }
 
     /// The engine-kind used by the cost model for MD tasks.
     pub fn engine_kind(&self) -> EngineKind {
-        match self.cfg.engine {
-            EngineChoice::Namd => EngineKind::Namd2,
-            EngineChoice::Gromacs => EngineKind::GmxMdrun,
-            EngineChoice::Amber => {
-                if self.cfg.resource.use_gpu {
-                    EngineKind::PmemdCuda
-                } else if self.cfg.resource.cores_per_replica > 1 {
-                    EngineKind::PmemdMpi
-                } else {
-                    EngineKind::Sander
-                }
-            }
-        }
+        self.cfg.engine_kind()
     }
 
     /// Modeled wall seconds of one MD segment.
     pub fn md_model_seconds(&self) -> f64 {
-        self.perf.md.md_seconds(
-            self.engine_kind(),
-            self.cost_atoms(),
-            self.cfg.steps_per_cycle,
-            self.cfg.resource.cores_per_replica,
-            self.cluster.core_speed,
-        )
+        self.cfg.md_segment_seconds(&self.perf, &self.cluster)
     }
 
     /// Exchange kind of a dimension.

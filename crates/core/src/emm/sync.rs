@@ -152,7 +152,7 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<(CycleTiming, Vec<Ev
             match done.outcome {
                 Ok(TaskResult::Md(ref md)) => {
                     let attempt =
-                        in_flight.remove(&done.name).map(|(_, attempt)| attempt).unwrap_or(0);
+                        in_flight.remove(&done.name).map_or(0, |(_, attempt)| attempt);
                     ctx.md_core_seconds += done.duration() * done.cores as f64;
                     events.push(Event::MdSegment {
                         replica: md.replica,
@@ -316,7 +316,7 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<(CycleTiming, Vec<Ev
     // in the same order as the per-field accumulation they replaced, so the
     // derived timing matches it to floating-point rounding (≪ 1e-9).
     let timing =
-        obs::cycle_breakdowns(&events).first().map(timing_from_breakdown).unwrap_or_default();
+        obs::cycle_breakdowns(&events).first().map_or_else(Default::default, timing_from_breakdown);
     Ok((timing, events))
 }
 

@@ -30,6 +30,7 @@
 pub mod amm;
 pub mod capabilities;
 pub mod config;
+pub mod diag;
 pub mod emm;
 pub mod ram;
 pub mod replica;
@@ -41,6 +42,7 @@ pub mod timing;
 pub use config::{
     DimensionConfig, EngineChoice, FaultPolicy, Pattern, ResourceConfig, SimulationConfig, Workload,
 };
+pub use diag::{Diagnostic, Severity};
 pub use report::{CycleReport, SimulationReport};
 pub use simulation::RemdSimulation;
 pub use timing::{

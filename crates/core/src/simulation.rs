@@ -62,7 +62,9 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
         replicas.push(Replica::new(slot, slot, system));
     }
 
-    let pilot = make_pilot(&cfg, FaultModel::NONE)?;
+    // Config-declared failure injection; `with_faults` can still override.
+    let fault = cfg.fault_mtbf_seconds.map_or(FaultModel::NONE, FaultModel::new);
+    let pilot = make_pilot(&cfg, fault)?;
     let cluster = cfg.cluster()?;
     let simulated = cfg.resource.backend == "simulated";
     let round_trips = (grid.n_dims() == 1 && grid.dims[0].len() >= 2)
@@ -155,7 +157,7 @@ impl RemdSimulation {
             }
             ctx.recorder.set_gauge(
                 "exchange.round_trips_total",
-                ctx.round_trips.as_ref().map(|r| r.total_round_trips()).unwrap_or(0),
+                ctx.round_trips.as_ref().map_or(0, |r| r.total_round_trips()),
             );
             for (i, stats) in ctx.pair_acceptance.iter().enumerate() {
                 ctx.recorder.count(&format!("pair.{i:03}.attempts"), stats.attempts);
@@ -178,7 +180,7 @@ impl RemdSimulation {
             makespan,
             utilization_percent: utilization,
             acceptance,
-            round_trips: ctx.round_trips.as_ref().map(|r| r.total_round_trips()).unwrap_or(0),
+            round_trips: ctx.round_trips.as_ref().map_or(0, |r| r.total_round_trips()),
             rung_history: ctx.rung_history.clone(),
             pair_acceptance: ctx.pair_acceptance.clone(),
             window_samples: ctx.window_sample_report(),

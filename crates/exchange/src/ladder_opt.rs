@@ -148,8 +148,8 @@ mod tests {
         }
         let accs: Vec<f64> =
             temps.windows(2).map(|w| synthetic_acceptance(w[0], w[1], c)).collect();
-        let spread = accs.iter().cloned().fold(f64::MIN, f64::max)
-            - accs.iter().cloned().fold(f64::MAX, f64::min);
+        let spread = accs.iter().copied().fold(f64::MIN, f64::max)
+            - accs.iter().copied().fold(f64::MAX, f64::min);
         assert!(spread < 0.02, "acceptances equalized: {accs:?}");
         // And the converged ladder is geometric (equal log-gaps) for this
         // gap-only acceptance model.

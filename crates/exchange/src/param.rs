@@ -71,7 +71,7 @@ impl Dimension {
     }
 
     pub fn kind_letter(&self) -> char {
-        self.ladder.first().map(|p| p.letter()).unwrap_or('?')
+        self.ladder.first().map_or('?', |p| p.letter())
     }
 
     /// Geometric temperature ladder from `t_min` to `t_max` with `n` rungs —

@@ -83,7 +83,7 @@ impl CoreTimeline {
 
     /// Earliest time any core is free.
     pub fn next_free_at(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.free_at.peek().map_or(SimTime::ZERO, |Reverse(t)| *t)
     }
 
     /// Impose a global barrier: no core may start new work before `t`
@@ -202,7 +202,7 @@ mod tests {
         ) {
             let mut tl = CoreTimeline::new(n_cores);
             let total: f64 = durations.iter().sum();
-            let longest = durations.iter().cloned().fold(0.0f64, f64::max);
+            let longest = durations.iter().copied().fold(0.0f64, f64::max);
             for d in &durations {
                 tl.schedule(1, *d, SimTime::ZERO);
             }

@@ -1,0 +1,194 @@
+//! Pre-flight static analysis of simulation plans (`repex check`).
+//!
+//! The linter reasons about a [`SimulationConfig`] *without executing it*:
+//! it combines the structural checks of `SimulationConfig::validate_diagnostics`
+//! (`C0xx` codes) with plan-level rules (`L1xx`–`L6xx`) that predict
+//! schedulability, exchange-core requirements, asynchronous liveness,
+//! ladder acceptance, pairing coverage and fault-policy sanity from the
+//! same calibrated models (`hpc::perfmodel`, `analysis::overlap`) the
+//! virtual cluster charges at run time. A plan that lints clean is not
+//! guaranteed to sample well — but a plan that lints dirty is guaranteed
+//! to waste its allocation in a predictable way.
+//!
+//! Rule catalog (see DESIGN.md §9):
+//!
+//! | family | codes | concern |
+//! |--------|-------|---------|
+//! | config | C0xx  | structural validity (from `repex::config`) |
+//! | L1xx   | L001, L101, L102 | Mode II schedulability / batch imbalance |
+//! | L2xx   | L201, L202, L203 | S/pH exchange core requirements |
+//! | L3xx   | L301–L304 | asynchronous-pattern liveness |
+//! | L4xx   | L401, L402 | temperature-ladder acceptance prediction |
+//! | L5xx   | L501–L503 | pairing round-trip coverage |
+//! | L6xx   | L601–L603 | fault-policy sanity vs injected MTBF |
+
+pub mod report;
+pub mod rules;
+pub mod span;
+
+use hpc::perfmodel::PerfModel;
+use hpc::ClusterSpec;
+use repex::config::SimulationConfig;
+use repex::diag::{has_errors, sort_by_severity};
+pub use repex::{Diagnostic, Severity};
+
+/// Tunable thresholds for the plan-level rules. The defaults encode the
+/// paper's rules of thumb (≥ 5 % pairwise acceptance, Fig. 10's Mode II
+/// S-exchange blow-up, ...).
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// L401 fires when the predicted acceptance of an adjacent
+    /// temperature pair falls below this.
+    pub min_acceptance: f64,
+    /// L402 fires when *every* adjacent pair overlaps above this
+    /// (ladder denser than it needs to be).
+    pub max_acceptance: f64,
+    /// Histogram bins for the overlap estimate.
+    pub bins: usize,
+    /// Deterministic quantile samples drawn per rung.
+    pub samples_per_rung: usize,
+    /// L101 fires when the last Mode II wave is emptier than this fraction.
+    pub imbalance_threshold: f64,
+    /// L202 fires when Mode II inflates S-exchange wall time by this factor
+    /// over the full-allocation cost.
+    pub salt_blowup_ratio: f64,
+    /// L601 warning / error thresholds on the per-segment failure
+    /// probability under the `continue` policy.
+    pub fail_prob_warn: f64,
+    pub fail_prob_error: f64,
+    /// L602 fires when a task exhausts its retry budget with probability
+    /// above this.
+    pub exhaust_prob_warn: f64,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            min_acceptance: 0.05,
+            max_acceptance: 0.99,
+            bins: 40,
+            samples_per_rung: 512,
+            imbalance_threshold: 0.5,
+            salt_blowup_ratio: 3.0,
+            fail_prob_warn: 0.05,
+            fail_prob_error: 0.5,
+            exhaust_prob_warn: 0.01,
+        }
+    }
+}
+
+/// Everything the plan-level rules need, derived once from a structurally
+/// valid configuration.
+pub struct PlanCtx<'a> {
+    pub cfg: &'a SimulationConfig,
+    pub grid: &'a exchange::multidim::ParamGrid,
+    pub cluster: &'a ClusterSpec,
+    pub perf: &'a PerfModel,
+    /// Total replicas (grid slots).
+    pub n: usize,
+    /// Resolved pilot core count.
+    pub pilot_cores: usize,
+    /// Modeled wall seconds of one MD segment.
+    pub md_secs: f64,
+}
+
+/// Lint a configuration: structural diagnostics first, then — if the plan
+/// is structurally sound — the six plan-level rule families. The result is
+/// sorted most-severe first.
+pub fn lint_config(cfg: &SimulationConfig, opts: &LintOptions) -> Vec<Diagnostic> {
+    let mut out = cfg.validate_diagnostics();
+    if has_errors(&out) {
+        // The plan-level context (grid, cluster, cores) may not even build;
+        // structural errors must be fixed before prediction makes sense.
+        sort_by_severity(&mut out);
+        return out;
+    }
+    let (grid, cluster, pilot_cores) =
+        match (cfg.build_grid(), cfg.cluster(), cfg.pilot_cores()) {
+            (Ok(g), Ok(c), Ok(p)) => (g, c, p),
+            // Unreachable after a clean validate, but never panic in a linter.
+            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+                out.push(Diagnostic::error("C002", e));
+                return out;
+            }
+        };
+    let perf = PerfModel::default();
+    let md_secs = cfg.md_segment_seconds(&perf, &cluster);
+    let ctx = PlanCtx {
+        cfg,
+        grid: &grid,
+        cluster: &cluster,
+        perf: &perf,
+        n: grid.n_slots(),
+        pilot_cores,
+        md_secs,
+    };
+    rules::schedulability::check(&ctx, opts, &mut out);
+    rules::exchange_cores::check(&ctx, opts, &mut out);
+    rules::liveness::check(&ctx, opts, &mut out);
+    if cfg.no_exchange {
+        out.push(
+            Diagnostic::info(
+                "L503",
+                "exchange disabled (no-exchange): ladder-quality rules skipped",
+            )
+            .with_path("/no-exchange"),
+        );
+    } else {
+        rules::acceptance::check(&ctx, opts, &mut out);
+        rules::coverage::check(&ctx, opts, &mut out);
+    }
+    rules::fault::check(&ctx, opts, &mut out);
+    sort_by_severity(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn default_t_remd_has_no_errors() {
+        let cfg = SimulationConfig::t_remd(8, 600, 3);
+        let diags = lint_config(&cfg, &LintOptions::default());
+        assert!(!has_errors(&diags), "clean plan flagged: {diags:?}");
+    }
+
+    #[test]
+    fn structural_errors_short_circuit_plan_rules() {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 3);
+        cfg.steps_per_cycle = 0;
+        cfg.resource.cores = Some(3); // would trigger L1xx if rules ran
+        let diags = lint_config(&cfg, &LintOptions::default());
+        assert!(codes(&diags).contains(&"C020"));
+        assert!(
+            !diags.iter().any(|d| d.code.starts_with('L')),
+            "plan rules must not run on a structurally broken config: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn no_exchange_skips_ladder_rules_with_info() {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 1);
+        cfg.no_exchange = true;
+        let diags = lint_config(&cfg, &LintOptions::default());
+        assert!(codes(&diags).contains(&"L503"));
+        assert!(!diags.iter().any(|d| d.code.starts_with("L4") || d.code.starts_with("L5")));
+    }
+
+    #[test]
+    fn report_is_sorted_most_severe_first() {
+        let mut cfg = SimulationConfig::t_remd(8, 6000, 1); // L501 warning
+        cfg.fault_mtbf_seconds = Some(50.0); // L601 error at 139.6 s segments
+        let diags = lint_config(&cfg, &LintOptions::default());
+        let sevs: Vec<Severity> = diags.iter().map(|d| d.severity).collect();
+        let mut sorted = sevs.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(sevs, sorted, "not sorted: {diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+}

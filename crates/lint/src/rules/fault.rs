@@ -1,0 +1,171 @@
+//! L6xx — fault-policy sanity against the configured failure injection.
+//!
+//! When `fault-mtbf-seconds` is set, every running task fails with
+//! probability `1 − exp(−duration/mtbf)`. Whether the chosen
+//! `fault-policy` can cope is arithmetic on that rate: `continue` skips
+//! the failed replica's exchange (fine at 1 % failure, ensemble-fatal at
+//! 90 %), and a `relaunch` retry budget either absorbs the rate or
+//! exhausts with predictable probability.
+
+use crate::{Diagnostic, LintOptions, PlanCtx};
+use hpc::fault::FaultModel;
+use repex::config::FaultPolicy;
+
+pub fn check(ctx: &PlanCtx, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let Some(mtbf) = ctx.cfg.fault_mtbf_seconds else {
+        return;
+    };
+    let p = FaultModel::new(mtbf).failure_probability(ctx.md_secs);
+    let pct = p * 100.0;
+    match ctx.cfg.fault_policy {
+        FaultPolicy::Continue => {
+            if p >= opts.fail_prob_error {
+                out.push(
+                    Diagnostic::error(
+                        "L601",
+                        format!(
+                            "each MD segment fails with probability {pct:.0}% (mtbf {mtbf} s \
+                             vs {:.0} s segments); under the continue policy most replicas sit \
+                             out most exchanges and the ensemble never equilibrates",
+                            ctx.md_secs,
+                        ),
+                    )
+                    .with_path("/fault-policy")
+                    .with_hint("switch to the relaunch policy with a retry budget, or shorten segments"),
+                );
+            } else if p >= opts.fail_prob_warn {
+                out.push(
+                    Diagnostic::warning(
+                        "L601",
+                        format!(
+                            "{pct:.1}% of MD segments fail (mtbf {mtbf} s vs {:.0} s segments) \
+                             and skip their exchange under the continue policy",
+                            ctx.md_secs,
+                        ),
+                    )
+                    .with_path("/fault-policy"),
+                );
+            }
+        }
+        FaultPolicy::Relaunch { max_retries } => {
+            if max_retries == 0 {
+                out.push(
+                    Diagnostic::warning(
+                        "L602",
+                        "relaunch policy with max-retries = 0 never actually relaunches \
+                         (equivalent to continue)",
+                    )
+                    .with_path("/fault-policy/max-retries")
+                    .with_hint("set max-retries >= 1"),
+                );
+                return;
+            }
+            let p_exhaust = p.powi(max_retries as i32 + 1);
+            if p_exhaust > opts.exhaust_prob_warn && p > 0.0 && p < 1.0 {
+                // Attempts needed so p^attempts <= threshold.
+                let attempts = (opts.exhaust_prob_warn.ln() / p.ln()).ceil().max(2.0) as u32;
+                out.push(
+                    Diagnostic::warning(
+                        "L602",
+                        format!(
+                            "a task exhausts its {max_retries}-retry budget with probability \
+                             {:.1}% (every attempt fails with probability {pct:.0}%)",
+                            p_exhaust * 100.0,
+                        ),
+                    )
+                    .with_path("/fault-policy/max-retries")
+                    .with_hint(format!(
+                        "a budget of {} retries drops exhaustion below {:.0}%",
+                        attempts - 1,
+                        opts.exhaust_prob_warn * 100.0,
+                    )),
+                );
+            }
+            // Expected relaunches over the whole run: n·cycles·dims MD
+            // segments, each retried p/(1-p) times on average.
+            let segments = (ctx.n as u64 * ctx.cfg.n_cycles) as f64 * ctx.grid.n_dims() as f64;
+            let expected = segments * p / (1.0 - p).max(f64::EPSILON);
+            if expected >= 1.0 {
+                out.push(
+                    Diagnostic::info(
+                        "L603",
+                        format!(
+                            "expect ≈{expected:.0} relaunches over the run ({segments:.0} MD \
+                             segments, {pct:.1}% failure per attempt)",
+                        ),
+                    )
+                    .with_path("/fault-mtbf-seconds"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::codes;
+    use crate::{lint_config, LintOptions, Severity};
+    use repex::config::{FaultPolicy, SimulationConfig};
+
+    /// 6000-step sander segments model at 139.6 s each.
+    fn faulty(mtbf: f64, policy: FaultPolicy) -> SimulationConfig {
+        let mut cfg = SimulationConfig::t_remd(8, 6000, 3);
+        cfg.fault_mtbf_seconds = Some(mtbf);
+        cfg.fault_policy = policy;
+        cfg
+    }
+
+    #[test]
+    fn continue_policy_at_catastrophic_rate_is_an_error() {
+        // p = 1 - exp(-139.6/50) ≈ 0.94
+        let diags = lint_config(&faulty(50.0, FaultPolicy::Continue), &LintOptions::default());
+        let l601 = diags.iter().find(|d| d.code == "L601");
+        assert!(l601.is_some_and(|d| d.severity == Severity::Error), "{diags:?}");
+    }
+
+    #[test]
+    fn continue_policy_at_modest_rate_warns() {
+        // p = 1 - exp(-139.6/2000) ≈ 0.067
+        let diags = lint_config(&faulty(2000.0, FaultPolicy::Continue), &LintOptions::default());
+        let l601 = diags.iter().find(|d| d.code == "L601");
+        assert!(l601.is_some_and(|d| d.severity == Severity::Warning), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_retry_relaunch_budget_warns() {
+        let diags = lint_config(
+            &faulty(2000.0, FaultPolicy::Relaunch { max_retries: 0 }),
+            &LintOptions::default(),
+        );
+        assert!(codes(&diags).contains(&"L602"), "{diags:?}");
+    }
+
+    #[test]
+    fn underprovisioned_retry_budget_warns_with_suggested_budget() {
+        // p ≈ 0.94: even 1 retry exhausts with ~88 % probability.
+        let diags = lint_config(
+            &faulty(50.0, FaultPolicy::Relaunch { max_retries: 1 }),
+            &LintOptions::default(),
+        );
+        let c = codes(&diags);
+        assert!(c.contains(&"L602"), "{diags:?}");
+        assert!(c.contains(&"L603"), "{diags:?}");
+    }
+
+    #[test]
+    fn rare_failures_with_a_sane_budget_stay_quiet() {
+        // p ≈ 0.0014: exhaustion at 3 retries ~ p^4 ≈ 4e-12.
+        let diags = lint_config(
+            &faulty(100_000.0, FaultPolicy::Relaunch { max_retries: 3 }),
+            &LintOptions::default(),
+        );
+        assert!(!diags.iter().any(|d| d.code.starts_with("L6")), "{diags:?}");
+    }
+
+    #[test]
+    fn no_injection_no_findings() {
+        let cfg = SimulationConfig::t_remd(8, 6000, 3);
+        let diags = lint_config(&cfg, &LintOptions::default());
+        assert!(!diags.iter().any(|d| d.code.starts_with("L6")), "{diags:?}");
+    }
+}

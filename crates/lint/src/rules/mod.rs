@@ -1,0 +1,10 @@
+//! Plan-level lint rules. Each module owns one rule family and pushes its
+//! findings (`L<family><nn>` codes) into the shared diagnostics list; the
+//! engine in `lib.rs` decides ordering and which families run.
+
+pub mod acceptance;
+pub mod coverage;
+pub mod exchange_cores;
+pub mod fault;
+pub mod liveness;
+pub mod schedulability;

@@ -1,0 +1,205 @@
+//! Map diagnostic paths back into the config file.
+//!
+//! Diagnostics carry a JSON-pointer-style `path` (`/dimensions/0/count`).
+//! [`locate`] resolves such a pointer against the *source text* of the
+//! config and returns the 1-based `(line, column)` of the value it points
+//! at, so `repex check` can print compiler-style `file:line:col` spans.
+//! A tiny hand-rolled scanner keeps positions; `serde_json` discards them.
+
+/// Resolve `pointer` (e.g. `/dimensions/0/count`) against JSON `text`.
+/// Returns the 1-based `(line, column)` of the first character of the
+/// value, or `None` if the path does not exist (including pointers into
+/// defaulted fields absent from the file).
+pub fn locate(text: &str, pointer: &str) -> Option<(usize, usize)> {
+    let segments: Vec<&str> = if pointer == "/" || pointer.is_empty() {
+        Vec::new()
+    } else {
+        pointer.strip_prefix('/')?.split('/').collect()
+    };
+    let mut s = Scanner { bytes: text.as_bytes(), pos: 0 };
+    let offset = s.find(&segments)?;
+    Some(line_col(text, offset))
+}
+
+fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for b in text.as_bytes().iter().take(offset) {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.peek() == Some(b)).then(|| self.pos += 1)
+    }
+
+    /// Parse the string starting at the current `"` (escapes handled but
+    /// not decoded — config keys never contain them).
+    fn parse_string(&mut self) -> Option<&str> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek()? {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    let raw = &self.bytes[start..self.pos];
+                    self.pos += 1;
+                    return std::str::from_utf8(raw).ok();
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skip one complete JSON value of any type.
+    fn skip_value(&mut self) -> Option<()> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => {
+                self.parse_string()?;
+            }
+            open @ (b'{' | b'[') => {
+                let close = if open == b'{' { b'}' } else { b']' };
+                self.pos += 1;
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.peek()? {
+                        b'"' => {
+                            self.parse_string()?;
+                            continue;
+                        }
+                        b if b == open => depth += 1,
+                        b if b == close => depth -= 1,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                // Number, bool, or null: scan to the next delimiter.
+                while let Some(b) = self.peek() {
+                    if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Byte offset of the value `segments` points at, starting from the
+    /// value at the current position.
+    fn find(&mut self, segments: &[&str]) -> Option<usize> {
+        self.skip_ws();
+        let Some((head, rest)) = segments.split_first() else {
+            return Some(self.pos);
+        };
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                loop {
+                    self.skip_ws();
+                    if self.peek()? == b'}' {
+                        return None;
+                    }
+                    let key = self.parse_string()?.to_owned();
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    if key == *head {
+                        return self.find(rest);
+                    }
+                    self.skip_value()?;
+                    self.skip_ws();
+                    if self.peek()? == b',' {
+                        self.pos += 1;
+                    }
+                }
+            }
+            b'[' => {
+                let want: usize = head.parse().ok()?;
+                self.pos += 1;
+                for _ in 0..want {
+                    self.skip_value()?;
+                    self.skip_ws();
+                    self.expect(b',')?;
+                }
+                self.skip_ws();
+                if self.peek()? == b']' {
+                    return None;
+                }
+                self.find(rest)
+            }
+            _ => None, // pointer descends into a scalar
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "title": "demo",
+  "dimensions": [
+    {"type": "temperature", "min-k": 273.0, "count": 0},
+    {"type": "salt", "count": 4}
+  ],
+  "n-cycles": 3
+}"#;
+
+    #[test]
+    fn top_level_key() {
+        assert_eq!(locate(DOC, "/title"), Some((2, 12)));
+        assert_eq!(locate(DOC, "/n-cycles"), Some((7, 15)));
+    }
+
+    #[test]
+    fn nested_array_element_field() {
+        // `0` in `"count": 0` on line 4.
+        assert_eq!(locate(DOC, "/dimensions/0/count"), Some((4, 54)));
+        assert_eq!(locate(DOC, "/dimensions/1/count"), Some((5, 31)));
+        // Whole array element: its opening brace.
+        assert_eq!(locate(DOC, "/dimensions/1"), Some((5, 5)));
+    }
+
+    #[test]
+    fn missing_paths_are_none() {
+        assert_eq!(locate(DOC, "/resource/cores"), None);
+        assert_eq!(locate(DOC, "/dimensions/7"), None);
+        assert_eq!(locate(DOC, "/title/deeper"), None);
+    }
+
+    #[test]
+    fn root_pointer_points_at_document_start() {
+        assert_eq!(locate(DOC, "/"), Some((1, 1)));
+    }
+
+    #[test]
+    fn malformed_text_does_not_panic() {
+        assert_eq!(locate("{\"a\": ", "/a/b"), None);
+        assert_eq!(locate("", "/a"), None);
+    }
+}

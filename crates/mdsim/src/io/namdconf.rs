@@ -88,7 +88,8 @@ impl NamdConfig {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let key = parts.next().unwrap().to_ascii_lowercase();
+            let Some(first) = parts.next() else { continue };
+            let key = first.to_ascii_lowercase();
             let rest: Vec<&str> = parts.collect();
             let one = |rest: &[&str]| -> Result<String, NamdConfError> {
                 if rest.len() != 1 {

@@ -235,8 +235,8 @@ mod tests {
         };
         let samples: Vec<f64> =
             (0..72).map(|i| energy_at(i as f64 * 5.0_f64.to_radians())).collect();
-        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
-        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
         assert!(max - min > 2.0, "torsional corrugation only {} kcal/mol", max - min);
     }
 

@@ -132,7 +132,7 @@ fn longest_chain(mut nodes: Vec<PathNode>) -> CriticalPath {
         }
     }
     let dominant =
-        by_category.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(c, _)| *c).unwrap_or("md");
+        by_category.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map_or("md", |(c, _)| *c);
     CriticalPath {
         total,
         span,

@@ -4,7 +4,14 @@ use crate::event::Event;
 use crate::{aggregate, chrome};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::PoisonError;
+
+// Under `--cfg loom` the sync primitives come from loom so the model
+// checker can explore interleavings (tests/loom_recorder.rs).
+#[cfg(loom)]
+use loom::sync::{Arc, Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Arc, Mutex, MutexGuard};
 
 #[derive(Default)]
 struct Inner {
@@ -161,7 +168,7 @@ impl fmt::Debug for Recorder {
 }
 
 /// A payload panic on a worker thread must not wedge tracing for everyone.
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

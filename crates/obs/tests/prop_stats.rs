@@ -19,8 +19,8 @@ fn assert_within_resolution(h: &LogHistogram, values: &[f64], q: f64) {
     let got = h.quantile(q);
     let exact = exact_quantile(values, q);
     let bound = LogHistogram::relative_error_bound();
-    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(got >= lo - 1e-12 && got <= hi + 1e-12, "q{q}: {got} outside [{lo}, {hi}]");
     // The representative may fall one bucket to either side of the exact
     // value when the exact value sits on a bucket edge, so allow a full
@@ -47,8 +47,8 @@ proptest! {
             assert_within_resolution(&h, &values, q);
         }
         // min/max/mean are tracked exactly, not bucketed.
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         prop_assert_eq!(h.min(), lo);
         prop_assert_eq!(h.max(), hi);

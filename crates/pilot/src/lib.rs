@@ -23,7 +23,7 @@ pub mod states;
 
 pub use description::{DurationSpec, PilotDescription, UnitDescription};
 pub use executor::{drain, CompletedUnit, Executor, TaskWork, UnitId};
-pub use local::LocalExecutor;
+pub use local::{LocalExecutor, Permits};
 pub use manager::{Backend, Pilot, PilotManager};
 pub use sim::SimExecutor;
 pub use staging::StagingArea;

@@ -5,29 +5,80 @@ use crate::description::UnitDescription;
 use crate::executor::{CompletedUnit, Executor, TaskWork, UnitId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpc::SimTime;
-use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Core-permit accounting shared with worker threads.
-struct Permits {
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+use parking_lot::{Condvar, Mutex};
+
+/// Core-permit accounting shared with worker threads. A unit requesting
+/// `k` cores holds `k` permits for its whole run.
+///
+/// Compiled against parking_lot in production and against loom's modeled
+/// primitives under `--cfg loom`, where `tests/loom_permits.rs`
+/// exhaustively checks the acquire/release protocol for over-subscription
+/// and lost wakeups.
+pub struct Permits {
     available: Mutex<usize>,
     cv: Condvar,
 }
 
 impl Permits {
-    fn acquire(&self, n: usize) {
-        let mut avail = self.available.lock();
-        while *avail < n {
-            self.cv.wait(&mut avail);
-        }
-        *avail -= n;
+    pub fn new(cores: usize) -> Self {
+        Permits { available: Mutex::new(cores), cv: Condvar::new() }
     }
 
-    fn release(&self, n: usize) {
-        let mut avail = self.available.lock();
-        *avail += n;
+    /// Block until `n` permits are free, then take them.
+    pub fn acquire(&self, n: usize) {
+        #[cfg(not(loom))]
+        {
+            let mut avail = self.available.lock();
+            while *avail < n {
+                self.cv.wait(&mut avail);
+            }
+            *avail -= n;
+        }
+        #[cfg(loom)]
+        {
+            use std::sync::PoisonError;
+            let mut avail = self.available.lock().unwrap_or_else(PoisonError::into_inner);
+            while *avail < n {
+                avail = self.cv.wait(avail).unwrap_or_else(PoisonError::into_inner);
+            }
+            *avail -= n;
+        }
+    }
+
+    /// Return `n` permits and wake every waiter: waiters need different
+    /// permit counts, so a single `notify_one` could wake a waiter whose
+    /// demand still isn't met while a satisfiable one keeps sleeping.
+    pub fn release(&self, n: usize) {
+        #[cfg(not(loom))]
+        {
+            let mut avail = self.available.lock();
+            *avail += n;
+        }
+        #[cfg(loom)]
+        {
+            use std::sync::PoisonError;
+            let mut avail = self.available.lock().unwrap_or_else(PoisonError::into_inner);
+            *avail += n;
+        }
         self.cv.notify_all();
+    }
+
+    /// Currently free permits (a racy snapshot, for observability only).
+    pub fn available(&self) -> usize {
+        #[cfg(not(loom))]
+        {
+            *self.available.lock()
+        }
+        #[cfg(loom)]
+        {
+            *self.available.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
     }
 }
 
@@ -51,7 +102,7 @@ impl<R: Send + 'static> LocalExecutor<R> {
         let (tx, rx) = unbounded();
         LocalExecutor {
             cores,
-            permits: Arc::new(Permits { available: Mutex::new(cores), cv: Condvar::new() }),
+            permits: Arc::new(Permits::new(cores)),
             epoch: Instant::now(),
             tx,
             rx,
