@@ -1,16 +1,23 @@
-//! Neighbor-cache performance record.
+//! MD hot-path performance record: force kernel + neighbor cache.
 //!
-//! Measures steps/sec of short serial Langevin runs with the persistent
-//! Verlet cache ("after") against the same run with the evaluation context
-//! invalidated before every step, which restores the seed's
-//! rebuild-every-step behavior ("before"). Also verifies, via the global
-//! cell-list build counter, that a batched S-exchange single-point
-//! evaluation builds the pair list once for the whole batch.
+//! Two before/after comparisons on short serial Langevin runs of the
+//! solvated dipeptide model:
+//!
+//! - **kernel**: the scalar pair-at-a-time kernel (`EvalMode::SerialScalar`,
+//!   the seed's inner loop) against the blocked SoA kernel
+//!   (`EvalMode::Serial`) — both with the Verlet cache enabled;
+//! - **cache**: the SoA run with the evaluation context invalidated before
+//!   every step (the rebuild-every-step behavior) against the cached run.
+//!
+//! Also verifies, via the global cell-list build counter, that a batched
+//! S-exchange single-point evaluation builds the pair list once per batch.
 //!
 //! Writes the machine-readable record to `BENCH_neighbor.json` at the repo
-//! root and the human-readable summary to `results/bench_neighbor.txt`.
+//! root (schema: `meta` provenance block + per-size rows; validated by the
+//! CI bench-smoke job) and the human-readable summary to
+//! `results/bench_neighbor.txt`. Pass `--quick` for the reduced CI sizes.
 
-use bench::output::{check, emit, results_dir};
+use bench::output::{bench_meta, check, emit, write_bench_json};
 use mdsim::engine::{MdEngine, SanderEngine, SinglePointRequest};
 use mdsim::integrator::{EvalMode, Integrator, LangevinBaoab};
 use mdsim::models::{dipeptide_forcefield, solvated_alanine_dipeptide};
@@ -21,47 +28,64 @@ use serde_json::json;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn steps_per_sec(atoms: usize, steps: u64, rebuild_every_step: bool) -> f64 {
-    let mut sys = solvated_alanine_dipeptide(atoms, 11);
-    let ff = dipeptide_forcefield();
-    let mut rng = StdRng::seed_from_u64(17);
-    sys.assign_maxwell_boltzmann(300.0, &mut rng);
-    let mut integ = LangevinBaoab::new(0.001, 300.0, 2.0);
-    // Warm up (first build, buffer allocation) outside the timed window.
-    integ.step(&mut sys, &ff, EvalMode::Serial, &mut rng);
-    let t0 = Instant::now();
-    for _ in 0..steps {
-        if rebuild_every_step {
-            integ.invalidate();
+/// Best-of-N trials: throughput benches on shared runners see multi-x
+/// run-to-run noise, and the fastest trial is the least contended one.
+const TRIALS: usize = 3;
+
+fn steps_per_sec(atoms: usize, steps: u64, mode: EvalMode, rebuild_every_step: bool) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..TRIALS {
+        let mut sys = solvated_alanine_dipeptide(atoms, 11);
+        let ff = dipeptide_forcefield();
+        let mut rng = StdRng::seed_from_u64(17);
+        sys.assign_maxwell_boltzmann(300.0, &mut rng);
+        let mut integ = LangevinBaoab::new(0.001, 300.0, 2.0);
+        // Warm up (first build, buffer allocation) outside the timed window.
+        integ.step(&mut sys, &ff, mode, &mut rng);
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            if rebuild_every_step {
+                integ.invalidate();
+            }
+            integ.step(&mut sys, &ff, mode, &mut rng);
         }
-        integ.step(&mut sys, &ff, EvalMode::Serial, &mut rng);
+        best = best.max(steps as f64 / t0.elapsed().as_secs_f64());
     }
-    steps as f64 / t0.elapsed().as_secs_f64()
+    best
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[(usize, u64)] =
+        if quick { &[(400, 60), (2000, 30)] } else { &[(400, 400), (2000, 120), (8000, 40)] };
+
     let mut out = String::new();
-    let _ = writeln!(out, "Neighbor cache — steps/sec, rebuild-every-step vs skin-cached\n");
+    let _ = writeln!(out, "MD hot paths — steps/sec, scalar vs SoA kernel and cache on/off\n");
 
     let mut rows = Vec::new();
-    let mut speedup_8000 = 0.0;
-    for &(atoms, steps) in &[(400usize, 400u64), (2000, 120), (8000, 40)] {
-        let before = steps_per_sec(atoms, steps, true);
-        let after = steps_per_sec(atoms, steps, false);
-        let speedup = after / before;
-        if atoms == 8000 {
-            speedup_8000 = speedup;
+    let mut kernel_ok = true;
+    for &(atoms, steps) in sizes {
+        let scalar = steps_per_sec(atoms, steps, EvalMode::SerialScalar, false);
+        let soa = steps_per_sec(atoms, steps, EvalMode::Serial, false);
+        let nocache = steps_per_sec(atoms, steps, EvalMode::Serial, true);
+        let kernel_speedup = soa / scalar;
+        let cache_speedup = soa / nocache;
+        if atoms >= 1000 {
+            kernel_ok &= kernel_speedup >= 1.5;
         }
         let _ = writeln!(
             out,
-            "N={atoms:5}  before {before:9.1} steps/s  after {after:9.1} steps/s  x{speedup:.2}"
+            "N={atoms:5}  scalar {scalar:9.1}  soa {soa:9.1}  (x{kernel_speedup:.2})  \
+             rebuild-every-step {nocache:9.1}  (cache x{cache_speedup:.2})"
         );
         rows.push(json!({
             "atoms": atoms,
             "steps": steps,
-            "steps_per_sec_before": before,
-            "steps_per_sec_after": after,
-            "speedup": speedup,
+            "steps_per_sec_scalar": scalar,
+            "steps_per_sec_soa": soa,
+            "steps_per_sec_rebuild_every_step": nocache,
+            "kernel_speedup": kernel_speedup,
+            "cache_speedup": cache_speedup,
         }));
     }
 
@@ -80,14 +104,8 @@ fn main() {
     let batch_builds = cell_list_builds() - builds_before;
 
     let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "{}",
-        check(
-            &format!("N=8000 per-step speedup >= 2x (got x{speedup_8000:.2})"),
-            speedup_8000 >= 2.0
-        )
-    );
+    let _ =
+        writeln!(out, "{}", check("SoA kernel >= 1.5x scalar steps/sec at >= 1k atoms", kernel_ok));
     let _ = writeln!(
         out,
         "{}",
@@ -101,19 +119,16 @@ fn main() {
         "bench": "neighbor_cache",
         "unit": "steps_per_sec",
         "status": "measured",
+        "quick": quick,
+        "meta": bench_meta(),
         "sizes": rows,
         "s_exchange_batch": { "requests": 4, "cell_list_builds": batch_builds },
+        "checks": {
+            "soa_speedup_ge_1_5_at_1k": kernel_ok,
+            "s_exchange_single_build": batch_builds == 1,
+        },
     });
-    let root = {
-        let mut p = results_dir();
-        p.pop();
-        p
-    };
-    let path = root.join("BENCH_neighbor.json");
-    match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serialize")) {
-        Ok(()) => eprintln!("[written: {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
+    write_bench_json("BENCH_neighbor.json", &payload);
 
     emit("bench_neighbor", &out);
 }

@@ -10,6 +10,7 @@
 //!           [--progress <n>] [--force]          --force runs despite error-level findings
 //! repex check <config.json> [--json <out.json>]   static plan analysis (no execution)
 //! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
+//! repex analyze --bench <BENCH_*.json>...       compare perf records (provenance-linted)
 //! repex validate <config.json>                  check a configuration
 //! repex example-config [tremd|tsu|ph]           print a starter config
 //! repex capabilities                            print the Table 1 comparison
@@ -61,6 +62,7 @@ fn print_usage() {
          repex check <config.json> [--json <diag.json>]\n  \
          repex analyze <trace.json> [--json <out.json>] \
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
+         repex analyze --bench <BENCH_*.json>...\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
          repex capabilities\n\n\
          check lints the plan without executing it: schedulability, exchange \
@@ -72,7 +74,9 @@ or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
 --progress prints a run-health line every n cycles.\n\
          analyze re-reads a --trace file and reports Tc percentiles, \
 stragglers,\nbatch imbalance, the critical path and exchange health \
-(see EXPERIMENTS.md).\n\n\
+(see EXPERIMENTS.md).\n\
+         analyze --bench summarizes BENCH_*.json perf records and warns when \
+records\nbeing compared were measured under different thread counts.\n\n\
          Exit codes for check/analyze/run: 0 clean, 1 error-level findings, \
 2 usage error.\n\
          See README.md for the configuration schema and diagnostics JSON."
@@ -143,7 +147,8 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
 
     // Pre-flight: the same pass as `repex check`; error-level findings
     // refuse to run unless --force.
-    let preflight = Report::new(lint::lint_config(&cfg, &lint::LintOptions::default()), Some(&text));
+    let preflight =
+        Report::new(lint::lint_config(&cfg, &lint::LintOptions::default()), Some(&text));
     if !preflight.is_empty() {
         eprint!("{}", preflight.render_human(path));
     }

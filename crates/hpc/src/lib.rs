@@ -11,6 +11,7 @@
 //! the calibrated [`perfmodel`] plus lognormal straggler noise.
 
 pub mod cluster;
+pub mod events;
 pub mod fault;
 pub mod filesystem;
 pub mod perfmodel;
@@ -19,6 +20,7 @@ pub mod time;
 pub mod timeline;
 
 pub use cluster::{ClusterSpec, FilesystemSpec};
+pub use events::EventQueue;
 pub use fault::FaultModel;
 pub use filesystem::SharedFilesystem;
 pub use perfmodel::{EngineKind, ExchangeKind, PerfModel};

@@ -7,15 +7,39 @@
 //! them for the task duration. This is exactly the greedy policy a pilot
 //! agent applies to its core slots, and it reproduces the batching behaviour
 //! of Execution Mode II (more tasks than cores → waves of execution).
+//!
+//! ## Representation
+//!
+//! The seed kept one heap entry per core and rebuilt the whole heap on every
+//! barrier — O(n) per dispatch and O(n log n) per barrier, which is what
+//! made 10⁵-core simulations scheduler-bound. Cores that free at the same
+//! instant are interchangeable under the greedy policy, so the timeline now
+//! stores *groups*: an [`EventQueue`] of `(free_at, count)` entries whose
+//! counts always sum to `n_cores`. A task scheduled on `k` cores pops
+//! whole groups until `k` cores are gathered (pushing back the unused
+//! remainder of the last group) and pushes one `(end, k)` group — O(g log g)
+//! in the number of groups (bounded by in-flight tasks, not cores). When
+//! the earliest group is exactly `k` wide — the steady state of equal-width
+//! task waves — the pop and push fuse into a single root replacement
+//! ([`EventQueue::pop_push`]), one sift instead of two. A barrier just
+//! raises a scalar floor (O(1)), and `all_idle_at` reads a running maximum
+//! (O(1)).
 
+use crate::events::EventQueue;
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Occupancy state of a fixed pool of cores.
 #[derive(Debug, Clone)]
 pub struct CoreTimeline {
-    free_at: BinaryHeap<Reverse<SimTime>>,
+    /// Min-heap of `(free_at, core_count)` groups; counts sum to `n_cores`.
+    /// FIFO tie-breaking makes equal-time pops deterministic.
+    groups: EventQueue<usize>,
+    /// Barrier floor: no task may start before this time.
+    floor: SimTime,
+    /// Running maximum of every scheduled end time and barrier floor —
+    /// `all_idle_at` in O(1). Monotone: re-scheduling a popped group always
+    /// pushes an end at or after its free time.
+    max_free: SimTime,
     n_cores: usize,
     /// Sum of busy core-seconds scheduled so far (for utilization metrics).
     busy_core_seconds: f64,
@@ -32,12 +56,12 @@ pub struct Slot {
 impl CoreTimeline {
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0, "timeline needs at least one core");
-        let mut free_at = BinaryHeap::with_capacity(n_cores);
-        for _ in 0..n_cores {
-            free_at.push(Reverse(SimTime::ZERO));
-        }
+        let mut groups = EventQueue::with_capacity(16);
+        groups.push(SimTime::ZERO, n_cores);
         CoreTimeline {
-            free_at,
+            groups,
+            floor: SimTime::ZERO,
+            max_free: SimTime::ZERO,
             n_cores,
             busy_core_seconds: 0.0,
             recorder: obs::Recorder::default(),
@@ -62,15 +86,38 @@ impl CoreTimeline {
     pub fn schedule(&mut self, cores: usize, duration: f64, earliest: SimTime) -> Slot {
         assert!(cores > 0 && cores <= self.n_cores, "task needs {cores} of {} cores", self.n_cores);
         assert!(duration >= 0.0, "negative duration");
-        let mut grabbed = Vec::with_capacity(cores);
-        for _ in 0..cores {
-            grabbed.push(self.free_at.pop().expect("heap has n_cores entries").0);
+        let mut start = earliest.max(self.floor);
+        // Fast path: the earliest-free group exactly covers the request —
+        // the steady state of equal-width task waves, where every dispatch
+        // recycles the group its predecessor pushed. One fused pop+push,
+        // one sift, no slot churn.
+        if let Some((free_at, &count)) = self.groups.peek() {
+            if count == cores {
+                let start = start.max(free_at);
+                let end = start + duration;
+                self.groups.pop_push(end, cores);
+                self.max_free = self.max_free.max(end);
+                self.busy_core_seconds += duration * cores as f64;
+                self.recorder.count("timeline.tasks_scheduled", 1);
+                return Slot { start, end };
+            }
         }
-        let start = grabbed.iter().fold(earliest, |acc, t| acc.max(*t));
+        // Pop earliest-free groups until `cores` cores are gathered; groups
+        // pop in free-time order, so the last pop dominates the start time.
+        let mut remaining = cores;
+        while remaining > 0 {
+            let (free_at, count) = self.groups.pop().expect("group counts sum to n_cores");
+            start = start.max(free_at);
+            if count > remaining {
+                self.groups.push(free_at, count - remaining);
+                remaining = 0;
+            } else {
+                remaining -= count;
+            }
+        }
         let end = start + duration;
-        for _ in 0..cores {
-            self.free_at.push(Reverse(end));
-        }
+        self.groups.push(end, cores);
+        self.max_free = self.max_free.max(end);
         self.busy_core_seconds += duration * cores as f64;
         self.recorder.count("timeline.tasks_scheduled", 1);
         Slot { start, end }
@@ -78,23 +125,21 @@ impl CoreTimeline {
 
     /// The time at which all cores are idle (= completion of the last task).
     pub fn all_idle_at(&self) -> SimTime {
-        self.free_at.iter().map(|Reverse(t)| *t).fold(SimTime::ZERO, SimTime::max)
+        self.max_free
     }
 
     /// Earliest time any core is free.
     pub fn next_free_at(&self) -> SimTime {
-        self.free_at.peek().map_or(SimTime::ZERO, |Reverse(t)| *t)
+        self.groups.peek_time().map_or(self.floor, |t| t.max(self.floor))
     }
 
     /// Impose a global barrier: no core may start new work before `t`
     /// (used between the MD and exchange phases of the synchronous pattern).
+    /// O(1): the floor is folded into start times at the next `schedule`.
     pub fn barrier(&mut self, t: SimTime) {
         self.recorder.count("timeline.barriers", 1);
-        let mut new_heap = BinaryHeap::with_capacity(self.n_cores);
-        for Reverse(free) in self.free_at.drain() {
-            new_heap.push(Reverse(free.max(t)));
-        }
-        self.free_at = new_heap;
+        self.floor = self.floor.max(t);
+        self.max_free = self.max_free.max(t);
     }
 
     /// Total busy core-seconds scheduled so far.
@@ -155,6 +200,27 @@ mod tests {
     }
 
     #[test]
+    fn barrier_raises_idle_time_of_idle_pool() {
+        let mut tl = CoreTimeline::new(4);
+        tl.barrier(SimTime::seconds(5.0));
+        assert_eq!(tl.all_idle_at().as_secs(), 5.0);
+        assert_eq!(tl.next_free_at().as_secs(), 5.0);
+        // A later barrier must not lower it.
+        tl.barrier(SimTime::seconds(2.0));
+        assert_eq!(tl.all_idle_at().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn partial_group_reuse_keeps_remainder_free() {
+        // A 3-core task splits the idle 4-core group; the leftover core
+        // still accepts work at t=0.
+        let mut tl = CoreTimeline::new(4);
+        tl.schedule(3, 7.0, SimTime::ZERO);
+        let s = tl.schedule(1, 1.0, SimTime::ZERO);
+        assert_eq!(s.start, SimTime::ZERO);
+    }
+
+    #[test]
     fn mode_ii_batching_shape() {
         // 8 equal tasks on 2 cores: 4 waves; makespan = 4 * duration.
         let mut tl = CoreTimeline::new(2);
@@ -211,6 +277,42 @@ mod tests {
             proptest::prop_assert!(makespan >= total / n_cores as f64 - 1e-9);
             proptest::prop_assert!(makespan >= longest - 1e-9);
             proptest::prop_assert!(makespan <= total + 1e-9);
+        }
+
+        /// The group representation against a per-core reference scheduler
+        /// (the seed's representation): identical slots for random mixed
+        /// workloads with barriers.
+        #[test]
+        fn group_heap_matches_per_core_reference(
+            n_cores in 1usize..12,
+            ops in proptest::collection::vec((1usize..6, 0.0f64..20.0, 0.0f64..30.0, proptest::bool::ANY), 1..60),
+        ) {
+            let mut tl = CoreTimeline::new(n_cores);
+            // Reference: explicit per-core free times, greedy k-earliest.
+            let mut free = vec![0.0f64; n_cores];
+            for &(cores_raw, duration, earliest, do_barrier) in &ops {
+                let cores = cores_raw.min(n_cores);
+                if do_barrier {
+                    let t = tl.all_idle_at();
+                    tl.barrier(t + 1.0);
+                    let rt = free.iter().copied().fold(0.0f64, f64::max) + 1.0;
+                    for f in &mut free {
+                        *f = f.max(rt);
+                    }
+                }
+                let slot = tl.schedule(cores, duration, SimTime::seconds(earliest));
+                free.sort_by(f64::total_cmp);
+                let start = free[cores - 1].max(earliest);
+                let end = start + duration;
+                for f in free.iter_mut().take(cores) {
+                    *f = end;
+                }
+                proptest::prop_assert!((slot.start.as_secs() - start).abs() < 1e-9,
+                    "start {} vs reference {start}", slot.start.as_secs());
+                proptest::prop_assert!((slot.end.as_secs() - end).abs() < 1e-9);
+            }
+            let ref_makespan = free.iter().copied().fold(0.0f64, f64::max);
+            proptest::prop_assert!((tl.all_idle_at().as_secs() - ref_makespan).abs() < 1e-9);
         }
     }
 }

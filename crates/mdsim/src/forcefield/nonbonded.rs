@@ -75,31 +75,40 @@ pub struct NbScalars {
     pub pref: f64,
     /// `exp(-kappa * rc)` — the Coulomb energy-shift screening factor.
     pub exp_mkrc: f64,
+    /// `1 / rc` (hoisted so the SoA kernel never divides by the cutoff).
+    pub inv_rc: f64,
+    /// `exp(-kappa * rc) / rc` — the full Coulomb energy shift per unit
+    /// `pref·q_i·q_j`, as a single multiply for the SoA kernel.
+    pub cshift: f64,
 }
 
 impl NbScalars {
     pub fn new(params: &NonbondedParams) -> Self {
         let rc = params.cutoff;
         let kappa = params.kappa();
+        let exp_mkrc = (-kappa * rc).exp();
+        let inv_rc = 1.0 / rc;
         NbScalars {
             rc,
             rc2: rc * rc,
             kappa,
             pref: COULOMB_K / params.dielectric,
-            exp_mkrc: (-kappa * rc).exp(),
+            exp_mkrc,
+            inv_rc,
+            cshift: exp_mkrc * inv_rc,
         }
     }
 }
 
 /// Mixed Lennard-Jones constants for one (type, type) combination.
 #[derive(Debug, Clone, Copy)]
-struct LjEntry {
+pub(crate) struct LjEntry {
     /// `4 ε_ij` (Lorentz–Berthelot mixed); 0 marks an inactive pair.
-    eps4: f64,
+    pub(crate) eps4: f64,
     /// `σ_ij²`.
-    sigma2: f64,
+    pub(crate) sigma2: f64,
     /// Energy shift so the LJ term vanishes at the cutoff.
-    eshift: f64,
+    pub(crate) eshift: f64,
 }
 
 const LJ_INACTIVE: LjEntry = LjEntry { eps4: 0.0, sigma2: 0.0, eshift: 0.0 };
@@ -169,6 +178,13 @@ impl LjTable {
     /// Number of distinct LJ types found.
     pub fn n_types(&self) -> usize {
         self.n_types
+    }
+
+    /// Mixed constants for the atom pair `(i, j)` — used by the SoA kernel
+    /// to gather per-pair parameters once per neighbor-list rebuild.
+    #[inline]
+    pub(crate) fn entry(&self, i: usize, j: usize) -> LjEntry {
+        self.table[self.type_of[i] as usize * self.n_types + self.type_of[j] as usize]
     }
 
     /// Single-pass pair evaluation: `(lj_energy, coulomb_energy,

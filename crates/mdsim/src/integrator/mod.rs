@@ -14,7 +14,12 @@ use rand::RngCore;
 /// Whether the force evaluation runs serially or on the Rayon pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalMode {
+    /// Serial SoA kernel (the default single-core path).
     Serial,
+    /// Serial scalar pair-at-a-time kernel — the correctness reference and
+    /// benchmark baseline for the SoA path; not for production use.
+    SerialScalar,
+    /// Rayon-parallel SoA kernel.
     Parallel,
 }
 
@@ -28,6 +33,7 @@ impl EvalMode {
     ) -> EnergyBreakdown {
         match self {
             EvalMode::Serial => ff.energy_forces_ctx(system, ctx, forces),
+            EvalMode::SerialScalar => ff.energy_forces_scalar_ctx(system, ctx, forces),
             EvalMode::Parallel => ff.energy_forces_par_ctx(system, ctx, forces),
         }
     }

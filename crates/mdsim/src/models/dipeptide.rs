@@ -180,7 +180,7 @@ mod tests {
     fn paper_atom_counts_build() {
         let small = solvated_alanine_dipeptide(2881, 1);
         assert_eq!(small.n_atoms(), 2881);
-        assert!(small.pbc.lengths.is_some());
+        assert!(small.pbc.lengths().is_some());
         // Density within 10% of water.
         let v = small.pbc.volume().unwrap();
         let density = 2881.0 / v;

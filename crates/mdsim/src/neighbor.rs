@@ -19,7 +19,7 @@
 
 use crate::system::{PbcBox, System};
 use crate::vec3::Vec3;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Atom count above which the cell list beats the O(N²) loop. Small systems
 /// (the reduced dipeptide) are faster without the list.
@@ -44,6 +44,12 @@ static NEIGHBOR_REBUILDS: AtomicU64 = AtomicU64::new(0);
 pub fn neighbor_cache_rebuilds() -> u64 {
     NEIGHBOR_REBUILDS.load(Ordering::Relaxed)
 }
+
+/// Pair count of the most recent [`CellList::pairs_into`] call, used to
+/// pre-reserve the output buffer on the next rebuild. Pair counts drift
+/// slowly between rebuilds of the same system, so the previous count is an
+/// excellent capacity hint and avoids re-growth churn inside the fill loop.
+static LAST_PAIRS: AtomicUsize = AtomicUsize::new(0);
 
 /// Generate all unique pairs `i < j`.
 pub fn all_pairs(n: usize) -> impl Iterator<Item = (u32, u32)> {
@@ -72,7 +78,7 @@ impl CellList {
     /// Build a cell list with cells at least `cutoff` wide.
     pub fn build(positions: &[Vec3], pbc: &PbcBox, cutoff: f64) -> Self {
         assert!(cutoff > 0.0, "cutoff must be positive");
-        let (origin, extent, periodic) = match pbc.lengths {
+        let (origin, extent, periodic) = match pbc.lengths() {
             Some(l) => (Vec3::ZERO, l, true),
             None => {
                 let mut lo = Vec3::splat(f64::INFINITY);
@@ -146,9 +152,11 @@ impl CellList {
 
     /// Like [`CellList::pairs`], but reuses a caller-provided buffer so
     /// steady-state rebuilds do not allocate. The buffer is cleared first;
-    /// its capacity (grown on earlier builds) is retained.
+    /// its capacity (grown on earlier builds) is retained, and fresh buffers
+    /// are pre-reserved to the previous rebuild's pair count.
     pub fn pairs_into(&self, out: &mut Vec<(u32, u32)>) {
         out.clear();
+        out.reserve(LAST_PAIRS.load(Ordering::Relaxed));
         let (nx, ny, nz) = (self.dims[0] as isize, self.dims[1] as isize, self.dims[2] as isize);
         for cz in 0..nz {
             for cy in 0..ny {
@@ -199,6 +207,7 @@ impl CellList {
             out.sort_unstable();
             out.dedup();
         }
+        LAST_PAIRS.store(out.len(), Ordering::Relaxed);
     }
 
     /// Number of cells (for diagnostics).

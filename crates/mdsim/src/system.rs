@@ -8,39 +8,101 @@ use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
 /// Orthorhombic periodic box (or `None` extent for vacuum).
+///
+/// The reciprocal edge lengths are precomputed at construction so that
+/// [`PbcBox::min_image`] and [`PbcBox::wrap`] — both inside the pair inner
+/// loop — cost one multiply + round per axis instead of a division. In
+/// vacuum `edge` and `inv` are zero, which makes the shift term vanish and
+/// keeps both methods branch-free.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(from = "PbcBoxRepr", into = "PbcBoxRepr")]
 pub struct PbcBox {
     /// Edge lengths in Å; `None` means no periodicity.
-    pub lengths: Option<Vec3>,
+    lengths: Option<Vec3>,
+    /// Edge lengths with vacuum represented as zero (for branch-free math).
+    edge: Vec3,
+    /// Reciprocal edge lengths `1/L` (zero in vacuum).
+    inv: Vec3,
+}
+
+/// Serialized form of [`PbcBox`]: only the edge lengths are stored; the
+/// cached reciprocals are rebuilt on load.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct PbcBoxRepr {
+    lengths: Option<Vec3>,
+}
+
+impl From<PbcBoxRepr> for PbcBox {
+    fn from(repr: PbcBoxRepr) -> Self {
+        PbcBox::new(repr.lengths)
+    }
+}
+
+impl From<PbcBox> for PbcBoxRepr {
+    fn from(b: PbcBox) -> Self {
+        PbcBoxRepr { lengths: b.lengths }
+    }
 }
 
 impl PbcBox {
-    pub const VACUUM: PbcBox = PbcBox { lengths: None };
+    pub const VACUUM: PbcBox = PbcBox { lengths: None, edge: Vec3::ZERO, inv: Vec3::ZERO };
+
+    /// Build a box from optional edge lengths (`None` = vacuum). Panics on
+    /// non-positive edges, which would previously have produced NaN shifts.
+    pub fn new(lengths: Option<Vec3>) -> Self {
+        match lengths {
+            None => PbcBox::VACUUM,
+            Some(l) => {
+                assert!(
+                    l.x > 0.0 && l.y > 0.0 && l.z > 0.0,
+                    "box edge lengths must be positive, got {l:?}"
+                );
+                PbcBox {
+                    lengths: Some(l),
+                    edge: l,
+                    inv: Vec3::new(1.0 / l.x, 1.0 / l.y, 1.0 / l.z),
+                }
+            }
+        }
+    }
 
     pub fn cubic(l: f64) -> Self {
-        PbcBox { lengths: Some(Vec3::splat(l)) }
+        PbcBox::new(Some(Vec3::splat(l)))
+    }
+
+    /// Edge lengths in Å; `None` means no periodicity.
+    pub fn lengths(&self) -> Option<Vec3> {
+        self.lengths
+    }
+
+    /// Edge lengths with vacuum as zero — pairs with [`PbcBox::inv_edge`]
+    /// for branch-free minimum-image arithmetic in SoA kernels.
+    pub fn edge(&self) -> Vec3 {
+        self.edge
+    }
+
+    /// Precomputed reciprocal edge lengths (`1/L`, zero in vacuum).
+    pub fn inv_edge(&self) -> Vec3 {
+        self.inv
     }
 
     /// Minimum-image displacement `a - b`.
     #[inline]
     pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        // Branch-free: in vacuum edge and inv are zero, so the shift is 0.
         let mut d = a - b;
-        if let Some(l) = self.lengths {
-            d.x -= l.x * (d.x / l.x).round();
-            d.y -= l.y * (d.y / l.y).round();
-            d.z -= l.z * (d.z / l.z).round();
-        }
+        d.x -= self.edge.x * (d.x * self.inv.x).round();
+        d.y -= self.edge.y * (d.y * self.inv.y).round();
+        d.z -= self.edge.z * (d.z * self.inv.z).round();
         d
     }
 
     /// Wrap a position into the primary cell `[0, L)`.
     #[inline]
     pub fn wrap(&self, mut p: Vec3) -> Vec3 {
-        if let Some(l) = self.lengths {
-            p.x -= l.x * (p.x / l.x).floor();
-            p.y -= l.y * (p.y / l.y).floor();
-            p.z -= l.z * (p.z / l.z).floor();
-        }
+        p.x -= self.edge.x * (p.x * self.inv.x).floor();
+        p.y -= self.edge.y * (p.y * self.inv.y).floor();
+        p.z -= self.edge.z * (p.z * self.inv.z).floor();
         p
     }
 

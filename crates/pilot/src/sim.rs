@@ -5,27 +5,20 @@ use crate::executor::{CompletedUnit, Executor, TaskWork, UnitId};
 use hpc::fault::FaultModel;
 use hpc::perfmodel::NoiseModel;
 use hpc::timeline::CoreTimeline;
-use hpc::SimTime;
+use hpc::{EventQueue, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A completion waiting to be delivered, ordered by end time (then id for
-/// determinism).
-struct Pending<R> {
-    end: SimTime,
-    id: UnitId,
-    unit: CompletedUnit<R>,
-}
 
 /// Executes payloads eagerly but charges modeled durations on a virtual
 /// core timeline. Deterministic given the seed.
 pub struct SimExecutor<R> {
     timeline: CoreTimeline,
     now: SimTime,
-    pending: BinaryHeap<Reverse<(SimTime, u64)>>,
-    store: std::collections::HashMap<u64, Pending<R>>,
+    /// Completions waiting to be delivered, ordered by end time. Submission
+    /// order breaks end-time ties (the queue is FIFO among equal
+    /// timestamps), reproducing the former `(end, id)` ordering; payload
+    /// slots are pooled, so steady-state submission does not allocate.
+    pending: EventQueue<CompletedUnit<R>>,
     next_id: u64,
     fault: FaultModel,
     noise: NoiseModel,
@@ -39,8 +32,7 @@ impl<R> SimExecutor<R> {
         SimExecutor {
             timeline: CoreTimeline::new(cores),
             now: SimTime::ZERO,
-            pending: BinaryHeap::new(),
-            store: std::collections::HashMap::new(),
+            pending: EventQueue::new(),
             next_id: 0,
             fault: FaultModel::NONE,
             noise: NoiseModel::default(),
@@ -103,32 +95,25 @@ impl<R> Executor<R> for SimExecutor<R> {
         }
         let id = UnitId(self.next_id);
         self.next_id += 1;
-        self.pending.push(Reverse((slot.end, id.0)));
-        self.store.insert(
-            id.0,
-            Pending {
-                end: slot.end,
+        self.pending.push(
+            slot.end,
+            CompletedUnit {
                 id,
-                unit: CompletedUnit {
-                    id,
-                    name: desc.name,
-                    cores: desc.cores,
-                    start: slot.start,
-                    end: slot.end,
-                    outcome,
-                },
+                name: desc.name,
+                cores: desc.cores,
+                start: slot.start,
+                end: slot.end,
+                outcome,
             },
         );
         Ok(id)
     }
 
     fn next_completion(&mut self) -> Option<CompletedUnit<R>> {
-        let Reverse((end, id)) = self.pending.pop()?;
-        let pending = self.store.remove(&id).expect("store and heap in sync");
-        debug_assert_eq!(pending.end, end);
-        debug_assert_eq!(pending.id.0, id);
+        let (end, unit) = self.pending.pop()?;
+        debug_assert_eq!(unit.end, end);
         self.now = self.now.max(end);
-        Some(pending.unit)
+        Some(unit)
     }
 
     fn now(&self) -> SimTime {
