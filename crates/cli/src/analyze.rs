@@ -55,7 +55,9 @@ pub fn cmd_analyze(args: &[String]) -> Result<u8, String> {
 /// attempted exchanges and accepted none (starved ladder); A102 = exchange
 /// windows opened but no outcome was ever recorded (the exchange step
 /// produced no decisions); A103 = straggler replicas stretched their
-/// batches.
+/// batches; A104 = failures cluster in a burst (storm or bad node, not
+/// independent faults); A105 = per-replica MD speeds are heterogeneous;
+/// A106 = data staging dominates an outsized share of the critical path.
 fn derive_diagnostics(events: &[Event], doc: &serde_json::Value) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let windows = events
@@ -97,6 +99,99 @@ fn derive_diagnostics(events: &[Event], doc: &serde_json::Value) -> Vec<Diagnost
                 doc["timeline"]["stragglers"],
             ),
         ));
+    }
+
+    // A104: failure burst. Independent faults spread failures over the run;
+    // a strict majority landing inside a narrow window means a storm or a
+    // bad node. Needs enough failures for "cluster" to be meaningful.
+    let span = doc["timeline"]["span"].as_f64().unwrap_or(0.0);
+    let mut fail_times: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::MdSegment { ok: false, end, .. } => Some(*end),
+            _ => None,
+        })
+        .collect();
+    fail_times.sort_by(f64::total_cmp);
+    if fail_times.len() >= 4 && span > 0.0 {
+        let need = fail_times.len() / 2 + 1;
+        let burst =
+            fail_times.windows(need).map(|w| w[need - 1] - w[0]).fold(f64::INFINITY, f64::min);
+        if burst < 0.2 * span {
+            out.push(
+                Diagnostic::warning(
+                    "A104",
+                    format!(
+                        "failure burst: {need} of {} task failures landed within {:.1} s \
+                         ({:.0}% of the {:.1} s span) — consistent with a failure storm or a \
+                         flaky node, not independent faults",
+                        fail_times.len(),
+                        burst,
+                        burst / span * 100.0,
+                        span,
+                    ),
+                )
+                .with_hint("size the relaunch retry budget for the storm rate, not the average"),
+            );
+        }
+    }
+
+    // A105: heterogeneous replica speeds. Compare each replica's mean
+    // successful-MD duration against the fleet median.
+    let mut per_replica: std::collections::BTreeMap<usize, (f64, u32)> = Default::default();
+    for e in events {
+        if let Event::MdSegment { replica, start, end, ok: true, .. } = e {
+            let slot = per_replica.entry(*replica).or_insert((0.0, 0));
+            slot.0 += end - start;
+            slot.1 += 1;
+        }
+    }
+    let mut means: Vec<(usize, f64)> = per_replica
+        .iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(r, (sum, n))| (*r, sum / f64::from(*n)))
+        .collect();
+    if means.len() >= 4 {
+        means.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let median = means[means.len() / 2].1;
+        let &(slowest, max) = means.last().unwrap_or(&(0, 0.0));
+        if median > 0.0 && max >= 1.5 * median {
+            out.push(
+                Diagnostic::warning(
+                    "A105",
+                    format!(
+                        "heterogeneous replica speeds: replica {slowest} averages {:.1} s per \
+                         MD segment vs a fleet median of {:.1} s ({:.1}x) — slow or \
+                         oversubscribed nodes hold every synchronous barrier",
+                        max,
+                        median,
+                        max / median,
+                    ),
+                )
+                .with_hint(
+                    "prefer the asynchronous pattern, which never waits for the slowest node",
+                ),
+            );
+        }
+    }
+
+    // A106: data staging as an outsized share of the critical path — the
+    // filesystem, not the physics, is pacing the campaign.
+    let cp_total = doc["critical_path"]["total"].as_f64().unwrap_or(0.0);
+    let cp_data = doc["critical_path"]["by_category"]["data"].as_f64().unwrap_or(0.0);
+    if cp_total > 0.0 && cp_data > 0.25 * cp_total {
+        out.push(
+            Diagnostic::warning(
+                "A106",
+                format!(
+                    "data staging accounts for {:.0}% of the {:.1} s critical path — the \
+                     filesystem is pacing the run",
+                    cp_data / cp_total * 100.0,
+                    cp_total,
+                ),
+            )
+            .with_hint("batch stage-ins, widen striping, or run fewer concurrent replicas"),
+        );
     }
     out
 }
@@ -576,6 +671,82 @@ mod tests {
         assert!(a102.is_some_and(|d| d.severity == lint::Severity::Error), "{diags:?}");
     }
 
+    /// A bare MD segment for synthetic health-finding streams.
+    fn md(replica: usize, start: f64, end: f64, ok: bool) -> Event {
+        Event::MdSegment {
+            replica,
+            slot: replica,
+            cycle: 0,
+            dim: 0,
+            attempt: 0,
+            cores: 1,
+            start,
+            end,
+            ok,
+        }
+    }
+
+    #[test]
+    fn failure_burst_warns_a104() {
+        // 5 failures, 4 of them inside a 0.6 s window of a 100 s span.
+        let mut events: Vec<Event> = (0..4).map(|r| md(r, 0.0, 100.0, true)).collect();
+        events.push(md(0, 39.0, 40.0, false));
+        events.push(md(1, 39.2, 40.2, false));
+        events.push(md(2, 39.4, 40.4, false));
+        events.push(md(3, 39.6, 40.6, false));
+        events.push(md(0, 89.0, 90.0, false));
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A104"), "{diags:?}");
+    }
+
+    #[test]
+    fn independent_failures_do_not_look_like_a_burst() {
+        // Same failure count spread evenly: the majority window is 40 % of
+        // the span, well past the 20 % burst threshold.
+        let mut events: Vec<Event> = (0..4).map(|r| md(r, 0.0, 100.0, true)).collect();
+        for (i, t) in [10.0, 30.0, 50.0, 70.0, 90.0].iter().enumerate() {
+            events.push(md(i % 4, t - 1.0, *t, false));
+        }
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(!diag_codes(&diags).contains(&"A104"), "{diags:?}");
+    }
+
+    #[test]
+    fn heterogeneous_speeds_warn_a105() {
+        // Five replicas at 10 s per segment, one at 20 s (2x the median).
+        let events: Vec<Event> = (0..5)
+            .map(|r| md(r, 0.0, 10.0, true))
+            .chain(std::iter::once(md(5, 0.0, 20.0, true)))
+            .collect();
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        let a105 = diags.iter().find(|d| d.code == "A105");
+        assert!(a105.is_some(), "{diags:?}");
+        assert!(a105.is_some_and(|d| d.message.contains("replica 5")), "{diags:?}");
+    }
+
+    #[test]
+    fn uniform_speeds_stay_quiet_a105() {
+        let events: Vec<Event> = (0..6).map(|r| md(r, 0.0, 10.0, true)).collect();
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(!diag_codes(&diags).contains(&"A105"), "{diags:?}");
+    }
+
+    #[test]
+    fn data_bound_critical_path_warns_a106() {
+        // 1 s of MD followed by 4 s of staging: data is 80 % of the path.
+        let events = vec![
+            md(0, 0.0, 1.0, true),
+            Event::DataStage { kind: 'T', dim: 0, cycle: 0, start: 1.0, end: 5.0 },
+        ];
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A106"), "{diags:?}");
+    }
+
     #[test]
     fn stragglers_warn_a103() {
         let doc = serde_json::json!({
@@ -584,6 +755,57 @@ mod tests {
         });
         let diags = derive_diagnostics(&[], &doc);
         assert!(diag_codes(&diags).contains(&"A103"), "{diags:?}");
+    }
+
+    /// A fast simulated campaign under a stress scenario, traced.
+    fn run_scenario(n: usize, cycles: u64, sc: hpc::Scenario) -> (u64, Vec<Event>) {
+        let mut cfg = repex::config::SimulationConfig::t_remd(n, 600, cycles);
+        cfg.surrogate_steps = 5;
+        cfg.scenario = Some(sc);
+        cfg.fault_policy = repex::config::FaultPolicy::Relaunch { max_retries: 20 };
+        let recorder = obs::Recorder::enabled();
+        let report = repex::simulation::RemdSimulation::new(cfg)
+            .unwrap()
+            .with_recorder(recorder.clone())
+            .run()
+            .unwrap();
+        (report.failed_tasks, recorder.events())
+    }
+
+    #[test]
+    fn failure_storm_scenario_triggers_a104_end_to_end() {
+        // An 8 s storm at MTBF 2 s opens the run; the calm remainder never
+        // fails. All failures therefore cluster at the start of the span.
+        let sc = hpc::Scenario::FailureStorm {
+            storm_mtbf_seconds: 2.0,
+            period_seconds: 4000.0,
+            storm_fraction: 0.002,
+        };
+        let (failed, events) = run_scenario(16, 4, sc);
+        assert!(failed >= 4, "burst detection needs failures, got {failed}");
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A104"), "{diags:?}");
+    }
+
+    #[test]
+    fn heterogeneous_scenario_triggers_a105_end_to_end() {
+        let sc = hpc::Scenario::HeterogeneousNodes { slow_fraction: 0.25, slowdown: 3.0 };
+        let (failed, events) = run_scenario(16, 3, sc);
+        assert_eq!(failed, 0, "slow nodes are slow, not dead");
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A105"), "{diags:?}");
+    }
+
+    #[test]
+    fn slow_filesystem_scenario_triggers_a106_end_to_end() {
+        let sc = hpc::Scenario::SlowFilesystem { latency_factor: 50.0, bandwidth_factor: 0.02 };
+        let (failed, events) = run_scenario(8, 3, sc);
+        assert_eq!(failed, 0);
+        let doc = analyze(&events, obs::StragglerPolicy::default());
+        let diags = derive_diagnostics(&events, &doc);
+        assert!(diag_codes(&diags).contains(&"A106"), "{diags:?}");
     }
 
     fn bench_record(n_threads: Option<u64>) -> serde_json::Value {

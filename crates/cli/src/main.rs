@@ -8,6 +8,10 @@
 //!           [--trace <trace.json>]              Chrome trace of the run
 //!           [--metrics <metrics.json>]          flat counters (failures, acceptances, ...)
 //!           [--progress <n>] [--force]          --force runs despite error-level findings
+//!           [--checkpoint <dir>]                write a resumable checkpoint every
+//!           [--checkpoint-every <n>]            n cycles (default 1) and on failure
+//!           [--stop-after <n>]                  checkpoint and stop after n more cycles
+//! repex run --resume <dir> [flags]              continue a checkpointed campaign
 //! repex check <config.json> [--json <out.json>]   static plan analysis (no execution)
 //! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
 //! repex analyze --bench <BENCH_*.json>...       compare perf records (provenance-linted)
@@ -58,7 +62,9 @@ fn print_usage() {
     println!(
         "repex — flexible replica-exchange molecular dynamics\n\n\
          USAGE:\n  repex run <config.json> [--json <out.json>] \
-[--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>] [--force]\n  \
+[--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>] [--force]\n            \
+[--checkpoint <dir>] [--checkpoint-every <n>] [--stop-after <n>]\n  \
+         repex run --resume <dir> [flags]\n  \
          repex check <config.json> [--json <diag.json>]\n  \
          repex analyze <trace.json> [--json <out.json>] \
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
@@ -72,6 +78,10 @@ refuses\nerror-level findings unless --force.\n\
          --trace writes a Chrome Trace Event file (open in chrome://tracing \
 or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
 --progress prints a run-health line every n cycles.\n\
+         --checkpoint writes an atomic, versioned checkpoint.json every \
+--checkpoint-every\ncycles (and whenever a task fails); --resume reloads it \
+and continues the campaign\nas if never interrupted; --stop-after checkpoints \
+and exits after n more cycles.\n\
          analyze re-reads a --trace file and reports Tc percentiles, \
 stragglers,\nbatch imbalance, the critical path and exchange health \
 (see EXPERIMENTS.md).\n\
@@ -130,42 +140,77 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
     Ok(u8::from(report.has_errors()))
 }
 
+/// Fetch a numeric `--flag <n>` argument.
+fn uint_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    flag_value(args, flag)?
+        .map(|v| v.parse::<u64>().map_err(|_| format!("{flag} needs a count, got {v:?}")))
+        .transpose()
+}
+
 fn cmd_run(args: &[String]) -> Result<u8, String> {
-    let path = args.first().ok_or("run needs a config file path")?;
     let json_out = flag_value(args, "--json")?;
     let trace_out = flag_value(args, "--trace")?;
     let metrics_out = flag_value(args, "--metrics")?;
+    let resume_dir = flag_value(args, "--resume")?;
+    let checkpoint_dir = flag_value(args, "--checkpoint")?;
+    let checkpoint_every = uint_flag(args, "--checkpoint-every")?.unwrap_or(1);
+    let stop_after = uint_flag(args, "--stop-after")?;
     let force = args.iter().any(|a| a == "--force");
-    let progress = flag_value(args, "--progress")?
-        .map(|v| v.parse::<u64>().map_err(|_| format!("--progress needs a cycle count, got {v:?}")))
-        .transpose()?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut cfg = SimulationConfig::from_json(&text)?;
-    if let Some(n) = progress {
-        cfg.progress_every = n;
-    }
+    let progress = uint_flag(args, "--progress")?;
 
-    // Pre-flight: the same pass as `repex check`; error-level findings
-    // refuse to run unless --force.
-    let preflight =
-        Report::new(lint::lint_config(&cfg, &lint::LintOptions::default()), Some(&text));
-    if !preflight.is_empty() {
-        eprint!("{}", preflight.render_human(path));
-    }
-    if preflight.has_errors() {
-        if force {
-            eprintln!(
-                "[--force: running despite {} error-level finding(s)]",
-                preflight.summary.errors
-            );
-        } else {
-            eprintln!("refusing to run: fix the plan or pass --force");
-            return Ok(1);
+    let mut sim = match &resume_dir {
+        Some(dir) => {
+            // The plan was linted (and possibly --force'd) when the campaign
+            // first started; a resume trusts the checkpointed config.
+            let mut sim = RemdSimulation::resume(std::path::Path::new(dir))?;
+            if let Some(n) = progress {
+                sim = sim.with_progress(n);
+            }
+            eprintln!("resuming {} from {dir} ...", sim.config().title);
+            sim
         }
+        None => {
+            let path = args.first().ok_or("run needs a config file path or --resume <dir>")?;
+            if path.starts_with("--") {
+                return Err(format!("run needs a config file path before the flags, got {path:?}"));
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut cfg = SimulationConfig::from_json(&text)?;
+            if let Some(n) = progress {
+                cfg.progress_every = n;
+            }
+
+            // Pre-flight: the same pass as `repex check`; error-level findings
+            // refuse to run unless --force.
+            let preflight =
+                Report::new(lint::lint_config(&cfg, &lint::LintOptions::default()), Some(&text));
+            if !preflight.is_empty() {
+                eprint!("{}", preflight.render_human(path));
+            }
+            if preflight.has_errors() {
+                if force {
+                    eprintln!(
+                        "[--force: running despite {} error-level finding(s)]",
+                        preflight.summary.errors
+                    );
+                } else {
+                    eprintln!("refusing to run: fix the plan or pass --force");
+                    return Ok(1);
+                }
+            }
+            eprintln!("running {} ...", cfg.title);
+            RemdSimulation::new(cfg)?
+        }
+    };
+    // A resumed run keeps checkpointing into its own directory unless
+    // redirected with --checkpoint.
+    if let Some(dir) = checkpoint_dir.or_else(|| resume_dir.clone()) {
+        sim = sim.with_checkpoints(dir, checkpoint_every);
     }
-    let title = cfg.title.clone();
-    eprintln!("running {title} ...");
-    let mut sim = RemdSimulation::new(cfg)?;
+    if let Some(n) = stop_after {
+        sim = sim.with_cycle_limit(n);
+    }
     let recorder = if trace_out.is_some() || metrics_out.is_some() {
         let recorder = obs::Recorder::enabled();
         sim = sim.with_recorder(recorder.clone());
@@ -314,6 +359,58 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(report["n_replicas"], 4);
         assert!(report["makespan_s"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_checkpoints_stops_and_resumes() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 3);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let ckpt_dir = dir.join("ckpt");
+        let partial_out = dir.join("partial.json");
+        let final_out = dir.join("final.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+
+        let code = cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--checkpoint".into(),
+            ckpt_dir.to_string_lossy().into_owned(),
+            "--stop-after".into(),
+            "1".into(),
+            "--json".into(),
+            partial_out.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(ckpt_dir.join("checkpoint.json").exists(), "checkpoint written at the stop");
+        let partial: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&partial_out).unwrap()).unwrap();
+        assert_eq!(partial["cycles"].as_array().unwrap().len(), 1, "stopped after one cycle");
+
+        let code = cmd_run(&[
+            "--resume".into(),
+            ckpt_dir.to_string_lossy().into_owned(),
+            "--json".into(),
+            final_out.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        let fin: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&final_out).unwrap()).unwrap();
+        assert_eq!(fin["cycles"].as_array().unwrap().len(), 3, "resume finishes the campaign");
+        assert!(
+            fin["makespan_s"].as_f64().unwrap() > partial["makespan_s"].as_f64().unwrap(),
+            "the virtual clock carries across the resume"
+        );
+    }
+
+    #[test]
+    fn resume_of_a_missing_checkpoint_is_a_clean_error() {
+        assert!(cmd_run(&["--resume".into(), "/no/such/dir".into()]).is_err());
+        assert!(cmd_run(&["--checkpoint".into()]).is_err(), "flag without a value");
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl Amm for AmberAmm {
 
         let executable = if spec.gpu { "pmemd.cuda" } else { self.executable(spec.cores) };
         let desc = UnitDescription::new(format!("md-{base}"), executable, spec.cores)
+            .with_replica(spec.replica)
             .with_duration(spec.duration)
             .with_staging(
                 vec![mdin_name.clone()],

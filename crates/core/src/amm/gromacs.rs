@@ -65,6 +65,7 @@ impl Amm for GromacsAmm {
         staging.put_text(&mdp_name, cfg.render());
 
         let desc = UnitDescription::new(format!("md-{base}"), "gmx mdrun", spec.cores)
+            .with_replica(spec.replica)
             .with_duration(spec.duration)
             .with_staging(
                 vec![mdp_name.clone()],

@@ -62,6 +62,7 @@ impl Amm for NamdAmm {
         staging.put_text(&conf_name, cfg.render());
 
         let desc = UnitDescription::new(format!("md-{base}"), "namd2", spec.cores)
+            .with_replica(spec.replica)
             .with_duration(spec.duration)
             .with_staging(
                 vec![conf_name.clone()],

@@ -1,0 +1,458 @@
+//! Durable campaign checkpoints.
+//!
+//! A [`CampaignCheckpoint`] is everything needed to reconstruct a running
+//! campaign after the process dies: the full [`SimulationConfig`], every
+//! replica's microstate (serialized through the exact-round-trip restart
+//! format in `mdsim::io::restart`, so positions and velocities survive
+//! bit-for-bit), the exchange statistics, the virtual clock, the fault
+//! counters and the pattern driver's scheduler state. Because every random
+//! draw in the framework is a pure function of checkpointable identity
+//! (config seed, unit name, `(slot, attempt)`), no RNG state needs to be
+//! serialized: a resumed campaign re-derives the identical noise, failure
+//! and exchange streams.
+//!
+//! Checkpoints are written atomically — serialized to `checkpoint.json.tmp`
+//! in the target directory, then renamed over `checkpoint.json` — so a crash
+//! mid-write leaves the previous checkpoint intact. The format is versioned;
+//! readers reject versions they do not understand instead of guessing.
+//!
+//! Consistency contract (documented in DESIGN.md §11): for the synchronous
+//! pattern, checkpoints land on cycle barriers and a resumed run is exactly
+//! equal to an uninterrupted one. For the asynchronous pattern, in-flight MD
+//! segments are recorded as (replica, attempt) plus a pre-segment microstate
+//! snapshot and are resubmitted on resume; in-flight *exchange* rounds are
+//! dropped, which under the pattern's relaxed consistency is equivalent to
+//! an all-rejected round.
+
+use crate::config::{Pattern, SimulationConfig};
+use crate::emm::DriverCtx;
+use crate::report::CycleReport;
+use exchange::stats::{AcceptanceStats, RoundTripTracker};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Format version written by this build; `load` rejects anything else.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File name inside the checkpoint directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Where and how often a campaign writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory the checkpoint file lives in (created on first save).
+    pub dir: PathBuf,
+    /// Write every N completed cycles (sync) or exchange rounds (async).
+    /// Failures also trigger a write regardless of the interval.
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> Self {
+        CheckpointPolicy { dir: dir.into(), every: every.max(1) }
+    }
+
+    /// Whether a checkpoint is due after `done` completed cycles/rounds.
+    pub fn due(&self, done: u64) -> bool {
+        done > 0 && done % self.every == 0
+    }
+}
+
+/// One replica's durable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaCheckpoint {
+    pub id: usize,
+    /// Slot (parameter rung) the replica currently occupies.
+    pub slot: usize,
+    /// Failures charged against the replica so far.
+    pub failures: u32,
+    /// Whether a continue-policy run marked it stale.
+    pub stale: bool,
+    /// Full microstate in restart-file text; the header's cycle field
+    /// carries `segments_done`.
+    pub restart: String,
+}
+
+/// Async scheduler state: enough to restart the event loop mid-campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "kebab-case")]
+pub struct AsyncSchedulerState {
+    /// Virtual time of the next exchange-criterion tick.
+    pub next_tick: f64,
+    /// Exchange rounds already flushed.
+    pub exchange_rounds: u64,
+    /// Replicas that finished a segment and are waiting for the criterion.
+    pub ready: Vec<usize>,
+    /// In-flight MD work at checkpoint time as (replica, attempt); resume
+    /// resubmits each from its pre-segment snapshot at the replica's
+    /// current slot.
+    pub in_flight: Vec<(usize, u32)>,
+    /// Per-replica monotonic retry counters (replica, next attempt) so a
+    /// resumed retry perturbs its seed exactly as the interrupted run
+    /// would have.
+    pub retry: Vec<(usize, u32)>,
+}
+
+/// Which pattern driver wrote the checkpoint, plus its loop position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SchedulerState {
+    Sync {
+        /// Cycles fully completed (the resume loop starts here).
+        cycles_done: u64,
+    },
+    Async(AsyncSchedulerState),
+}
+
+/// A complete, versioned snapshot of a running campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct CampaignCheckpoint {
+    pub version: u32,
+    pub config: SimulationConfig,
+    /// Virtual clock at checkpoint time; resume fast-forwards to it.
+    pub clock_seconds: f64,
+    /// MD busy core-seconds accumulated so far (utilization, Eq. 4).
+    pub md_core_seconds: f64,
+    pub failed_tasks: u64,
+    pub relaunched_tasks: u64,
+    /// slot index -> replica id.
+    pub slot_owner: Vec<usize>,
+    /// Per-dimension acceptance statistics.
+    pub acceptance: Vec<AcceptanceStats>,
+    /// Per-neighbour-pair acceptance (1-D ladders).
+    pub pair_acceptance: Vec<AcceptanceStats>,
+    pub round_trips: Option<RoundTripTracker>,
+    /// `rung_history[replica][cycle]` (1-D ladders).
+    pub rung_history: Vec<Vec<usize>>,
+    /// Per-slot (phi, psi) samples, sorted by slot for a stable encoding.
+    pub window_samples: Vec<(usize, Vec<(f64, f64)>)>,
+    /// Cycle reports from the interrupted leg (the resumed run prepends
+    /// them so the final report covers the whole campaign).
+    pub cycle_reports: Vec<CycleReport>,
+    pub replicas: Vec<ReplicaCheckpoint>,
+    pub scheduler: SchedulerState,
+}
+
+impl CampaignCheckpoint {
+    /// Snapshot a live campaign. For replicas with an in-flight segment the
+    /// async driver stashes a pre-segment restart in
+    /// `ctx.preseg_snapshots`; everyone else serializes their current
+    /// microstate.
+    pub fn capture(
+        ctx: &DriverCtx,
+        scheduler: SchedulerState,
+        cycle_reports: &[CycleReport],
+    ) -> CampaignCheckpoint {
+        let replicas = ctx
+            .replicas
+            .iter()
+            .map(|r| {
+                let restart = match ctx.preseg_snapshots.get(&r.id) {
+                    Some(text) => text.clone(),
+                    None => {
+                        let sys = r.system.lock();
+                        mdsim::io::restart::write_restart_with_cycle(
+                            &format!("replica {}", r.id),
+                            &sys.state,
+                            r.segments_done,
+                        )
+                    }
+                };
+                ReplicaCheckpoint {
+                    id: r.id,
+                    slot: r.slot,
+                    failures: r.failures,
+                    stale: r.stale,
+                    restart,
+                }
+            })
+            .collect();
+        let mut window_samples: Vec<(usize, Vec<(f64, f64)>)> =
+            ctx.window_samples.iter().map(|(&slot, v)| (slot, v.clone())).collect();
+        window_samples.sort_by_key(|&(slot, _)| slot);
+        CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config: ctx.cfg.clone(),
+            clock_seconds: ctx.pilot.executor.now().as_secs(),
+            md_core_seconds: ctx.md_core_seconds,
+            failed_tasks: ctx.failed_tasks,
+            relaunched_tasks: ctx.relaunched_tasks,
+            slot_owner: ctx.slot_owner.clone(),
+            acceptance: ctx.acceptance.clone(),
+            pair_acceptance: ctx.pair_acceptance.clone(),
+            round_trips: ctx.round_trips.clone(),
+            rung_history: ctx.rung_history.clone(),
+            window_samples,
+            cycle_reports: cycle_reports.to_vec(),
+            replicas,
+            scheduler,
+        }
+    }
+
+    /// Write atomically into `dir` (serialize to a sibling temp file, then
+    /// rename over the real one).
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("checkpoint: cannot create {}: {e}", dir.display()))?;
+        let text = serde_json::to_string(self).map_err(|e| format!("checkpoint encode: {e}"))?;
+        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        let fin = dir.join(CHECKPOINT_FILE);
+        std::fs::write(&tmp, text)
+            .map_err(|e| format!("checkpoint: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &fin)
+            .map_err(|e| format!("checkpoint: cannot rename into {}: {e}", fin.display()))?;
+        Ok(())
+    }
+
+    /// Read and version-check the checkpoint in `dir`.
+    pub fn load(dir: &Path) -> Result<CampaignCheckpoint, String> {
+        let path = dir.join(CHECKPOINT_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("checkpoint: cannot read {}: {e}", path.display()))?;
+        let cp: CampaignCheckpoint =
+            serde_json::from_str(&text).map_err(|e| format!("checkpoint decode: {e}"))?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} is not supported (this build reads version {})",
+                cp.version, CHECKPOINT_VERSION
+            ));
+        }
+        Ok(cp)
+    }
+
+    /// Rebuild a [`DriverCtx`] that continues this campaign: construct a
+    /// fresh context from the stored config, then overwrite replica
+    /// microstates, statistics, counters and the virtual clock.
+    pub fn restore(self) -> Result<DriverCtx, String> {
+        let CampaignCheckpoint {
+            version,
+            config,
+            clock_seconds,
+            md_core_seconds,
+            failed_tasks,
+            relaunched_tasks,
+            slot_owner,
+            acceptance,
+            pair_acceptance,
+            round_trips,
+            rung_history,
+            window_samples,
+            cycle_reports,
+            replicas,
+            scheduler,
+        } = self;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} is not supported (this build reads version {CHECKPOINT_VERSION})"
+            ));
+        }
+        let cfg_async = matches!(config.pattern, Pattern::Asynchronous { .. });
+        let cp_async = matches!(scheduler, SchedulerState::Async(_));
+        if cfg_async != cp_async {
+            return Err(format!(
+                "checkpoint scheduler state ({}) does not match the config's pattern ({})",
+                if cp_async { "async" } else { "sync" },
+                if cfg_async { "async" } else { "sync" },
+            ));
+        }
+        let mut ctx = crate::simulation::build_ctx(config)?;
+        if replicas.len() != ctx.replicas.len() || slot_owner.len() != ctx.replicas.len() {
+            return Err(format!(
+                "checkpoint holds {} replicas / {} slots but the config builds {}",
+                replicas.len(),
+                slot_owner.len(),
+                ctx.replicas.len()
+            ));
+        }
+        for rc in &replicas {
+            let (state, cycle) = mdsim::io::restart::read_restart_with_cycle(&rc.restart)
+                .map_err(|e| format!("checkpoint replica {}: {e}", rc.id))?;
+            let r = ctx
+                .replicas
+                .get_mut(rc.id)
+                .ok_or_else(|| format!("checkpoint names unknown replica {}", rc.id))?;
+            {
+                let mut sys = r.system.lock();
+                if sys.state.n_atoms() != state.n_atoms() {
+                    return Err(format!(
+                        "checkpoint replica {} has {} atoms but the config builds {}",
+                        rc.id,
+                        state.n_atoms(),
+                        sys.state.n_atoms()
+                    ));
+                }
+                sys.state = state;
+            }
+            r.slot = rc.slot;
+            r.failures = rc.failures;
+            r.stale = rc.stale;
+            r.segments_done = cycle;
+        }
+        ctx.slot_owner = slot_owner;
+        ctx.acceptance = acceptance;
+        ctx.pair_acceptance = pair_acceptance;
+        ctx.round_trips = round_trips;
+        ctx.rung_history = rung_history;
+        ctx.window_samples = window_samples.into_iter().collect::<HashMap<_, _>>();
+        ctx.md_core_seconds = md_core_seconds;
+        ctx.failed_tasks = failed_tasks;
+        ctx.relaunched_tasks = relaunched_tasks;
+        ctx.prior_cycle_reports = cycle_reports;
+        ctx.pilot.executor.fast_forward(clock_seconds);
+        match scheduler {
+            SchedulerState::Sync { cycles_done } => ctx.completed_cycles = cycles_done,
+            SchedulerState::Async(st) => ctx.async_resume = Some(st),
+        }
+        Ok(ctx)
+    }
+}
+
+/// Write a checkpoint for `ctx` if a policy is configured. Drivers call this
+/// at their consistency points; errors surface as strings so a full disk
+/// aborts the run loudly instead of silently dropping durability.
+pub(crate) fn write_if_configured(
+    ctx: &DriverCtx,
+    scheduler: SchedulerState,
+    cycle_reports: &[CycleReport],
+) -> Result<(), String> {
+    let Some(policy) = &ctx.checkpoint else {
+        return Ok(());
+    };
+    let dir = policy.dir.clone();
+    CampaignCheckpoint::capture(ctx, scheduler, cycle_reports).save(&dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::build_ctx;
+
+    fn small_cfg() -> SimulationConfig {
+        let mut cfg = SimulationConfig::t_remd(4, 100, 2);
+        cfg.surrogate_steps = 10;
+        cfg
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("repex-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn policy_clamps_interval_and_reports_due() {
+        let p = CheckpointPolicy::new("/tmp/x", 0);
+        assert_eq!(p.every, 1);
+        assert!(!p.due(0));
+        assert!(p.due(1));
+        let p = CheckpointPolicy::new("/tmp/x", 3);
+        assert!(!p.due(2));
+        assert!(p.due(3));
+        assert!(p.due(6));
+    }
+
+    #[test]
+    fn capture_save_load_restore_round_trip() {
+        let dir = tempdir("roundtrip");
+        let mut ctx = build_ctx(small_cfg()).unwrap();
+        // Perturb state so the round trip proves something.
+        ctx.failed_tasks = 3;
+        ctx.relaunched_tasks = 2;
+        ctx.md_core_seconds = 123.5;
+        ctx.slot_owner.swap(0, 1);
+        ctx.replicas[0].slot = 1;
+        ctx.replicas[1].slot = 0;
+        ctx.replicas[2].failures = 4;
+        ctx.replicas[3].stale = true;
+        ctx.replicas[3].segments_done = 7;
+        ctx.acceptance[0].record(true);
+        ctx.acceptance[0].record(false);
+        ctx.record_samples(1, &[(0.25, -0.5)]);
+        {
+            let mut sys = ctx.replicas[2].system.lock();
+            sys.state.positions[0] = mdsim::Vec3::new(0.1 + 0.2, -7.25, 1e-9);
+            sys.state.step = 4242;
+        }
+        ctx.pilot.executor.charge_overhead(55.0);
+
+        let cp = CampaignCheckpoint::capture(&ctx, SchedulerState::Sync { cycles_done: 5 }, &[]);
+        cp.save(&dir).unwrap();
+        assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists(), "tmp renamed away");
+
+        let back = CampaignCheckpoint::load(&dir).unwrap().restore().unwrap();
+        assert_eq!(back.failed_tasks, 3);
+        assert_eq!(back.relaunched_tasks, 2);
+        assert_eq!(back.md_core_seconds, 123.5);
+        assert_eq!(back.slot_owner, ctx.slot_owner);
+        assert_eq!(back.replicas[0].slot, 1);
+        assert_eq!(back.replicas[2].failures, 4);
+        assert!(back.replicas[3].stale);
+        assert_eq!(back.replicas[3].segments_done, 7);
+        assert_eq!(back.acceptance[0].attempts, 2);
+        assert_eq!(back.acceptance[0].accepted, 1);
+        assert_eq!(back.window_samples.get(&1).map(Vec::len), Some(1));
+        assert_eq!(back.completed_cycles, 5);
+        // Microstate round-trips bit-exactly, clock fast-forwards.
+        let sys = back.replicas[2].system.lock();
+        assert_eq!(sys.state.positions[0].x, 0.1 + 0.2);
+        assert_eq!(sys.state.step, 4242);
+        drop(sys);
+        assert_eq!(back.pilot.executor.now().as_secs(), 55.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_in_flight_uses_preseg_snapshot() {
+        let mut ctx = build_ctx(small_cfg()).unwrap();
+        let pre = {
+            let sys = ctx.replicas[1].system.lock();
+            mdsim::io::restart::write_restart_with_cycle("pre", &sys.state, 3)
+        };
+        // The segment already ran eagerly: the live System has moved on.
+        ctx.replicas[1].system.lock().state.positions[0] = mdsim::Vec3::new(9.0, 9.0, 9.0);
+        ctx.preseg_snapshots.insert(1, pre.clone());
+        let st = AsyncSchedulerState { in_flight: vec![(1, 0)], ..Default::default() };
+        let cp = CampaignCheckpoint::capture(&ctx, SchedulerState::Async(st), &[]);
+        assert_eq!(cp.replicas[1].restart, pre, "in-flight replica stores the pre-segment state");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let dir = tempdir("version");
+        let mut ctx = build_ctx(small_cfg()).unwrap();
+        ctx.failed_tasks = 0;
+        let mut cp =
+            CampaignCheckpoint::capture(&ctx, SchedulerState::Sync { cycles_done: 0 }, &[]);
+        cp.version = 99;
+        cp.save(&dir).unwrap();
+        let err = CampaignCheckpoint::load(&dir).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scheduler_pattern_mismatch_is_rejected() {
+        let ctx = build_ctx(small_cfg()).unwrap();
+        let cp = CampaignCheckpoint::capture(
+            &ctx,
+            SchedulerState::Async(AsyncSchedulerState::default()),
+            &[],
+        );
+        // Config is synchronous; an async scheduler record cannot resume it.
+        let err = cp.restore().unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn replica_count_mismatch_is_rejected() {
+        let ctx = build_ctx(small_cfg()).unwrap();
+        let mut cp =
+            CampaignCheckpoint::capture(&ctx, SchedulerState::Sync { cycles_done: 1 }, &[]);
+        cp.replicas.pop();
+        cp.slot_owner.pop();
+        let err = cp.restore().unwrap_err();
+        assert!(err.contains("replicas"), "{err}");
+    }
+}

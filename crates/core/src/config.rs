@@ -327,6 +327,11 @@ pub struct SimulationConfig {
     /// (`None` = no failure injection). Pairs with `fault-policy`.
     #[serde(default)]
     pub fault_mtbf_seconds: Option<f64>,
+    /// Stress scenario layered over the simulated cluster: failure storms,
+    /// heterogeneous node speeds, filesystem slowdowns or straggler
+    /// injection (`None` = nominal cluster). Simulated backend only.
+    #[serde(default)]
+    pub scenario: Option<hpc::Scenario>,
     /// Asynchronous pattern only: minimum number of ready replicas before a
     /// tick flushes an exchange round (a FIFO-style window; `None` = flush
     /// whatever is ready). Must be at least 2 when set.
@@ -396,6 +401,7 @@ impl SimulationConfig {
             production_after_cycle: 0,
             fault_policy: default_fault_policy(),
             fault_mtbf_seconds: None,
+            scenario: None,
             async_min_ready: None,
             pairing: default_pairing(),
             seed: 1,
@@ -432,20 +438,26 @@ impl SimulationConfig {
         serde_json::to_string_pretty(self).expect("config serializes")
     }
 
-    /// Resolve the cluster preset.
+    /// Resolve the cluster preset, with any configured scenario's
+    /// cluster-level effects (filesystem slowdown) applied — so the lints,
+    /// the data-staging model and the drivers all see the stressed cluster.
     pub fn cluster(&self) -> Result<hpc::ClusterSpec, String> {
         let name = self.resource.cluster.as_str();
-        if name == "supermic" {
-            Ok(hpc::ClusterSpec::supermic())
+        let mut spec = if name == "supermic" {
+            hpc::ClusterSpec::supermic()
         } else if name == "stampede" {
-            Ok(hpc::ClusterSpec::stampede())
+            hpc::ClusterSpec::stampede()
         } else if let Some(cores) = name.strip_prefix("small:") {
             let cores: usize =
                 cores.parse().map_err(|_| format!("bad small cluster size {cores:?}"))?;
-            Ok(hpc::ClusterSpec::small_cluster(cores))
+            hpc::ClusterSpec::small_cluster(cores)
         } else {
-            Err(format!("unknown cluster {name:?} (supermic|stampede|small:<cores>)"))
+            return Err(format!("unknown cluster {name:?} (supermic|stampede|small:<cores>)"));
+        };
+        if let Some(sc) = &self.scenario {
+            sc.apply_to_cluster(&mut spec);
         }
+        Ok(spec)
     }
 
     /// Sanity-check the whole document. Thin wrapper over
@@ -597,11 +609,45 @@ impl SimulationConfig {
             }
         }
         if let Some(mtbf) = self.fault_mtbf_seconds {
-            if mtbf <= 0.0 {
+            // The typed constructor is the single source of truth for what
+            // makes a valid MTBF (rejects NaN and subnormals, not just
+            // non-positives).
+            if let Err(e) = hpc::FaultModel::new(mtbf) {
                 out.push(
-                    Diagnostic::error("C044", "fault-mtbf-seconds must be positive when set")
+                    Diagnostic::error("C044", format!("fault-mtbf-seconds: {e}"))
                         .with_path("/fault-mtbf-seconds"),
                 );
+            }
+        }
+        if let Some(sc) = &self.scenario {
+            if let Err(e) = sc.check() {
+                out.push(
+                    Diagnostic::error("C050", format!("scenario {}: {e}", sc.name()))
+                        .with_path("/scenario"),
+                );
+            } else {
+                if let hpc::Scenario::FailureStorm { storm_mtbf_seconds, .. } = sc {
+                    let base = self.fault_mtbf_seconds.unwrap_or(f64::INFINITY);
+                    if *storm_mtbf_seconds >= base {
+                        out.push(
+                            Diagnostic::warning(
+                                "C051",
+                                "failure-storm MTBF is no lower than the baseline \
+                                 fault-mtbf-seconds; the storm adds no stress",
+                            )
+                            .with_path("/scenario"),
+                        );
+                    }
+                }
+                if self.resource.backend != "simulated" {
+                    out.push(
+                        Diagnostic::warning(
+                            "C052",
+                            "scenarios model the virtual cluster; the local backend ignores them",
+                        )
+                        .with_path("/scenario"),
+                    );
+                }
             }
         }
         match self.resource.backend.as_str() {
@@ -666,8 +712,7 @@ impl SimulationConfig {
     /// Atom count charged to the performance model (`cost_atoms` override,
     /// else the workload's real atom count, else the paper's 2 881).
     pub fn model_atoms(&self) -> usize {
-        self.cost_atoms
-            .unwrap_or_else(|| self.workload.as_ref().map_or(2881, |w| w.real_atoms()))
+        self.cost_atoms.unwrap_or_else(|| self.workload.as_ref().map_or(2881, |w| w.real_atoms()))
     }
 
     /// Modeled wall seconds of one MD segment on the given cluster.
@@ -808,8 +853,7 @@ mod tests {
     #[test]
     fn zero_replica_dimension_rejected_without_panic() {
         let mut c = SimulationConfig::t_remd(8, 100, 1);
-        c.dimensions =
-            vec![DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 0 }];
+        c.dimensions = vec![DimensionConfig::Temperature { min_k: 273.0, max_k: 373.0, count: 0 }];
         // Must be a structured error, not a ladder-constructor panic.
         assert!(c.validate().is_err());
         let diags = c.validate_diagnostics();
@@ -835,17 +879,12 @@ mod tests {
     #[test]
     fn bad_ranges_rejected() {
         let mut c = SimulationConfig::t_remd(8, 100, 1);
-        c.dimensions =
-            vec![DimensionConfig::Temperature { min_k: 373.0, max_k: 273.0, count: 4 }];
+        c.dimensions = vec![DimensionConfig::Temperature { min_k: 373.0, max_k: 273.0, count: 4 }];
         assert!(codes(&c).contains(&"C011".to_string()));
-        c.dimensions = vec![DimensionConfig::Umbrella {
-            dihedral: "phi".into(),
-            count: 4,
-            k_deg: 0.0,
-        }];
-        assert!(codes(&c).contains(&"C013".to_string()));
         c.dimensions =
-            vec![DimensionConfig::Salt { min_molar: -0.5, max_molar: 1.0, count: 4 }];
+            vec![DimensionConfig::Umbrella { dihedral: "phi".into(), count: 4, k_deg: 0.0 }];
+        assert!(codes(&c).contains(&"C013".to_string()));
+        c.dimensions = vec![DimensionConfig::Salt { min_molar: -0.5, max_molar: 1.0, count: 4 }];
         assert!(codes(&c).contains(&"C011".to_string()));
     }
 
@@ -870,6 +909,61 @@ mod tests {
         assert!(c.validate().is_err());
         c.fault_mtbf_seconds = Some(3600.0);
         c.validate().unwrap();
+        // The typed constructor catches what the old `<= 0` assert missed.
+        c.fault_mtbf_seconds = Some(f64::NAN);
+        assert!(codes(&c).contains(&"C044".to_string()));
+        c.fault_mtbf_seconds = Some(f64::MIN_POSITIVE / 2.0);
+        assert!(codes(&c).contains(&"C044".to_string()));
+    }
+
+    #[test]
+    fn scenario_parameters_validated() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.scenario = Some(hpc::Scenario::FailureStorm {
+            storm_mtbf_seconds: -1.0,
+            period_seconds: 600.0,
+            storm_fraction: 0.2,
+        });
+        assert!(codes(&c).contains(&"C050".to_string()));
+        assert!(c.validate().is_err());
+        c.scenario = Some(hpc::Scenario::Stragglers { fraction: 0.1, slowdown: 3.0 });
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn calm_storm_and_local_backend_scenarios_warn() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.fault_mtbf_seconds = Some(100.0);
+        c.scenario = Some(hpc::Scenario::FailureStorm {
+            storm_mtbf_seconds: 500.0, // calmer than the baseline
+            period_seconds: 600.0,
+            storm_fraction: 0.2,
+        });
+        assert!(codes(&c).contains(&"C051".to_string()));
+        c.validate().unwrap(); // warning, not error
+
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.resource.backend = "local".into();
+        c.resource.cluster = "small:16".into();
+        c.scenario = Some(hpc::Scenario::Stragglers { fraction: 0.1, slowdown: 2.0 });
+        assert!(codes(&c).contains(&"C052".to_string()));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_survives_json_roundtrip_and_shapes_the_cluster() {
+        let mut c = SimulationConfig::t_remd(8, 100, 1);
+        c.scenario =
+            Some(hpc::Scenario::SlowFilesystem { latency_factor: 10.0, bandwidth_factor: 0.25 });
+        let text = c.to_json();
+        assert!(text.contains("slow-filesystem"), "kebab-case scenario tag: {text}");
+        let back = SimulationConfig::from_json(&text).unwrap();
+        assert_eq!(back.scenario, c.scenario);
+        // cluster() applies the filesystem degradation.
+        let nominal = SimulationConfig::t_remd(8, 100, 1).cluster().unwrap();
+        let stressed = c.cluster().unwrap();
+        assert!(stressed.fs.latency > nominal.fs.latency * 9.9);
+        assert!(stressed.fs.bandwidth < nominal.fs.bandwidth * 0.26);
     }
 
     #[test]

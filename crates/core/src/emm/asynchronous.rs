@@ -8,8 +8,16 @@
 //!
 //! Supported for 1-D REMD on the simulated backend (matching the paper's
 //! asynchronous experiments, which are 1-D T-REMD).
+//!
+//! Fault handling mirrors the synchronous driver: `Relaunch` resubmits the
+//! failed segment with a bumped attempt number, `Continue` (or exhausted
+//! retries) marks the replica stale and lets it rejoin the next round.
+//! Failure attribution uses the replica recorded at *submission* — slot
+//! ownership can change while a segment is in flight, so reading
+//! `slot_owner` at completion time would blame the wrong replica.
 
 use super::DriverCtx;
+use crate::checkpoint::{AsyncSchedulerState, SchedulerState};
 use crate::config::{FaultPolicy, Pattern};
 use crate::task::TaskResult;
 use obs::Event;
@@ -25,8 +33,37 @@ pub struct AsyncOutcome {
     pub exchange_rounds: u64,
 }
 
+/// One in-flight MD segment, keyed by unit name in the loop state.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    slot: usize,
+    replica: usize,
+    attempt: u32,
+}
+
+/// Mutable bookkeeping of the asynchronous event loop.
+struct AsyncLoopState {
+    /// Replica ids awaiting the next exchange round.
+    ready: Vec<usize>,
+    /// Unit name -> submission record, for relaunch bookkeeping.
+    in_flight: HashMap<String, InFlight>,
+    /// Per-replica monotonic retry counters. Every failure bumps the
+    /// counter, and every resubmission — including ones routed through the
+    /// ready/flush path by the `Continue` policy — uses it as the attempt
+    /// number. Without this the deterministic per-unit failure draw would
+    /// repeat verbatim on an identically-named resubmission and the replica
+    /// could never make progress.
+    retry: HashMap<usize, u32>,
+    /// Exchange unit name -> (round, participants), for trace attribution.
+    ex_meta: HashMap<String, (u64, usize)>,
+    n_segments: u64,
+    ex_letter: char,
+}
+
 /// Run the asynchronous pattern until every replica has completed
-/// `n_cycles` MD segments.
+/// `n_cycles` MD segments (or `ctx.cycle_limit` exchange rounds have been
+/// flushed by this invocation — a deterministic interruption point that
+/// checkpoints and returns with work still in flight).
 pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     let Pattern::Asynchronous { tick_fraction } = ctx.cfg.pattern else {
         return Err("run_async called with a synchronous configuration".into());
@@ -44,160 +81,192 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     // ready (default 1 = flush whatever is ready, the paper's behaviour).
     let min_ready = ctx.cfg.async_min_ready.unwrap_or(1).max(1);
 
-    // Submit the first segment for every replica.
-    let mut in_flight: HashMap<String, (usize, u32)> = HashMap::new();
-    for slot in 0..ctx.n_replicas() {
-        submit_md(ctx, slot, 0, &mut in_flight)?;
-    }
-    let mut ready: Vec<usize> = Vec::new(); // replica ids awaiting exchange
-    let mut next_tick = tick;
-    let mut exchange_rounds = 0u64;
-    // exchange unit name -> (round, participants), for trace attribution.
-    let mut ex_meta: HashMap<String, (u64, usize)> = HashMap::new();
-    let ex_letter = ctx.dim_kind(0).letter();
-
-    while let Some(done) = ctx.pilot.executor.next_completion() {
-        match done.outcome {
-            Ok(TaskResult::Md(ref md)) => {
-                let attempt = in_flight.remove(&done.name).map_or(0, |(_, a)| a);
-                ctx.md_core_seconds += done.duration() * done.cores as f64;
-                ctx.recorder.record(Event::MdSegment {
-                    replica: md.replica,
-                    slot: md.slot,
-                    cycle: md.cycle,
-                    dim: 0,
-                    attempt,
-                    cores: done.cores,
-                    start: done.start.as_secs(),
-                    end: done.end.as_secs(),
-                    ok: true,
-                });
-                ctx.record_samples_at(md.slot, md.cycle, &md.trace);
-                let r = &mut ctx.replicas[md.replica];
-                r.stale = false;
-                r.segments_done += 1;
-                if r.segments_done < n_segments {
-                    ready.push(md.replica);
-                } // finished replicas retire
-            }
-            Ok(TaskResult::Exchange(report)) => {
-                // Swaps apply as soon as the exchange unit completes; the
-                // participants already resumed MD under their pre-swap
-                // parameters (relaxed consistency, see `flush_ready`).
-                if ctx.recorder.is_enabled() {
-                    let (round, participants) =
-                        ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
-                    record_exchange_events(
-                        ctx,
-                        &report.pair_outcomes,
-                        ex_letter,
-                        round,
-                        participants,
-                        done.start.as_secs(),
-                        done.end.as_secs(),
-                    );
-                }
-                ctx.acceptance[0].merge(&report.stats);
-                ctx.apply_swaps(0, &report.swaps);
-            }
-            Err(_) => {
-                ctx.failed_tasks += 1;
-                if let Some((slot, retries)) = in_flight.remove(&done.name) {
-                    let replica = ctx.slot_owner[slot];
-                    ctx.recorder.record(Event::MdSegment {
-                        replica,
-                        slot,
-                        cycle: ctx.replicas[replica].segments_done,
-                        dim: 0,
-                        attempt: retries,
-                        cores: done.cores,
-                        start: done.start.as_secs(),
-                        end: done.end.as_secs(),
-                        ok: false,
-                    });
-                    match ctx.cfg.fault_policy {
-                        FaultPolicy::Relaunch { max_retries } if retries < max_retries => {
-                            ctx.relaunched_tasks += 1;
-                            if ctx.recorder.is_enabled() {
-                                ctx.recorder.record(Event::TaskRelaunch {
-                                    name: done.name.clone(),
-                                    slot,
-                                    attempt: retries + 1,
-                                    at: ctx.pilot.executor.now().as_secs(),
-                                });
-                            }
-                            resubmit_md(ctx, slot, retries + 1, &mut in_flight)?;
-                        }
-                        _ => {
-                            // Continue: replica resumes MD next round without
-                            // exchanging (asynchronous recovery: nobody waits).
-                            if ctx.replicas[replica].segments_done < n_segments {
-                                ready.push(replica);
-                            }
-                        }
-                    }
-                }
+    let mut st = AsyncLoopState {
+        ready: Vec::new(),
+        in_flight: HashMap::new(),
+        retry: HashMap::new(),
+        ex_meta: HashMap::new(),
+        n_segments,
+        ex_letter: ctx.dim_kind(0).letter(),
+    };
+    let mut next_tick;
+    let mut exchange_rounds;
+    match ctx.async_resume.take() {
+        Some(resume) => {
+            // Restart the event loop mid-campaign: restore the tick clock
+            // and round counter, re-enqueue the ready set and resubmit
+            // in-flight segments against the pre-segment microstates the
+            // checkpoint restored into the replicas' Systems. Exchange
+            // rounds that were in flight at capture were dropped — under
+            // the pattern's relaxed consistency that is an all-rejected
+            // round, not a correctness violation (DESIGN.md §11).
+            next_tick = resume.next_tick;
+            exchange_rounds = resume.exchange_rounds;
+            st.ready = resume.ready;
+            st.retry = resume.retry.into_iter().collect();
+            for (replica, attempt) in resume.in_flight {
+                submit_md(ctx, &mut st, replica, attempt)?;
             }
         }
+        None => {
+            next_tick = tick;
+            exchange_rounds = 0;
+            for replica in 0..ctx.n_replicas() {
+                submit_md(ctx, &mut st, replica, 0)?;
+            }
+        }
+    }
+    let mut failed_at_last_checkpoint = ctx.failed_tasks;
+    let round_limit = ctx.cycle_limit.map(|k| exchange_rounds.saturating_add(k));
+
+    while let Some(done) = ctx.pilot.executor.next_completion() {
+        handle_completion(ctx, &mut st, done)?;
 
         // Tick criterion: when the (virtual) clock crosses a tick boundary,
         // the ready subset exchanges and resumes.
         let now = ctx.pilot.executor.now().as_secs();
-        if now >= next_tick && ready.len() >= min_ready {
+        if now >= next_tick && st.ready.len() >= min_ready {
             while next_tick <= now {
                 next_tick += tick;
             }
             exchange_rounds += 1;
-            flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight, &mut ex_meta)?;
-        }
-    }
-    // Leftover ready replicas (clock never crossed another tick): run their
-    // remaining segments without an exchange.
-    while !ready.is_empty() {
-        exchange_rounds += 1;
-        flush_ready(ctx, &mut ready, exchange_rounds, &mut in_flight, &mut ex_meta)?;
-        while let Some(done) = ctx.pilot.executor.next_completion() {
-            if let Ok(TaskResult::Md(md)) = &done.outcome {
-                let attempt = in_flight.remove(&done.name).map_or(0, |(_, a)| a);
-                ctx.md_core_seconds += done.duration() * done.cores as f64;
-                ctx.recorder.record(Event::MdSegment {
-                    replica: md.replica,
-                    slot: md.slot,
-                    cycle: md.cycle,
-                    dim: 0,
-                    attempt,
-                    cores: done.cores,
-                    start: done.start.as_secs(),
-                    end: done.end.as_secs(),
-                    ok: true,
+            flush_ready(ctx, &mut st, exchange_rounds)?;
+            // Post-flush is the driver's consistency point: the ready set
+            // is empty and every incomplete replica is either in flight
+            // (with a pre-segment snapshot stashed) or retired.
+            let due = ctx.checkpoint.as_ref().is_some_and(|p| {
+                p.due(exchange_rounds) || ctx.failed_tasks > failed_at_last_checkpoint
+            });
+            if due {
+                write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
+                failed_at_last_checkpoint = ctx.failed_tasks;
+            }
+            if round_limit.is_some_and(|limit| exchange_rounds >= limit) {
+                write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
+                return Ok(AsyncOutcome {
+                    makespan: ctx.pilot.executor.now().as_secs(),
+                    exchange_rounds,
                 });
-                ctx.record_samples_at(md.slot, md.cycle, &md.trace);
-                let r = &mut ctx.replicas[md.replica];
-                r.segments_done += 1;
-                if r.segments_done < n_segments {
-                    ready.push(md.replica);
-                }
-            } else if let Ok(TaskResult::Exchange(report)) = &done.outcome {
-                if ctx.recorder.is_enabled() {
-                    let (round, participants) =
-                        ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
-                    record_exchange_events(
-                        ctx,
-                        &report.pair_outcomes,
-                        ex_letter,
-                        round,
-                        participants,
-                        done.start.as_secs(),
-                        done.end.as_secs(),
-                    );
-                }
-                ctx.acceptance[0].merge(&report.stats);
-                ctx.apply_swaps(0, &report.swaps);
             }
         }
     }
+    // Leftover ready replicas (clock never crossed another tick): run their
+    // remaining segments without pairing-eligible exchanges, handling
+    // failures exactly as the main loop does (a dropped failure here used
+    // to leave the replica incomplete and the counters silently wrong).
+    while !st.ready.is_empty() {
+        exchange_rounds += 1;
+        flush_ready(ctx, &mut st, exchange_rounds)?;
+        while let Some(done) = ctx.pilot.executor.next_completion() {
+            handle_completion(ctx, &mut st, done)?;
+        }
+    }
 
+    if ctx.checkpoint.is_some() {
+        // Terminal checkpoint: resuming a finished campaign is a no-op.
+        write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
+    }
     Ok(AsyncOutcome { makespan: ctx.pilot.executor.now().as_secs(), exchange_rounds })
+}
+
+/// Fold one completion into the loop state: account MD segments, apply
+/// exchange results, and route failures through the fault policy.
+fn handle_completion(
+    ctx: &mut DriverCtx,
+    st: &mut AsyncLoopState,
+    done: pilot::executor::CompletedUnit<TaskResult>,
+) -> Result<(), String> {
+    match done.outcome {
+        Ok(TaskResult::Md(ref md)) => {
+            let attempt = st.in_flight.remove(&done.name).map_or(0, |f| f.attempt);
+            ctx.preseg_snapshots.remove(&md.replica);
+            st.retry.remove(&md.replica);
+            ctx.md_core_seconds += done.duration() * done.cores as f64;
+            ctx.recorder.record(Event::MdSegment {
+                replica: md.replica,
+                slot: md.slot,
+                cycle: md.cycle,
+                dim: 0,
+                attempt,
+                cores: done.cores,
+                start: done.start.as_secs(),
+                end: done.end.as_secs(),
+                ok: true,
+            });
+            ctx.record_samples_at(md.slot, md.cycle, &md.trace);
+            let r = &mut ctx.replicas[md.replica];
+            r.stale = false;
+            r.segments_done += 1;
+            if r.segments_done < st.n_segments {
+                st.ready.push(md.replica);
+            } // finished replicas retire
+        }
+        Ok(TaskResult::Exchange(report)) => {
+            // Swaps apply as soon as the exchange unit completes; the
+            // participants already resumed MD under their pre-swap
+            // parameters (relaxed consistency, see `flush_ready`).
+            if ctx.recorder.is_enabled() {
+                let (round, participants) =
+                    st.ex_meta.remove(&done.name).unwrap_or((0, report.swaps.len()));
+                record_exchange_events(
+                    ctx,
+                    &report.pair_outcomes,
+                    st.ex_letter,
+                    round,
+                    participants,
+                    done.start.as_secs(),
+                    done.end.as_secs(),
+                );
+            }
+            ctx.acceptance[0].merge(&report.stats);
+            ctx.apply_swaps(0, &report.swaps);
+        }
+        Err(_) => {
+            ctx.failed_tasks += 1;
+            let Some(InFlight { slot, replica, attempt }) = st.in_flight.remove(&done.name) else {
+                return Ok(());
+            };
+            ctx.preseg_snapshots.remove(&replica);
+            st.retry.insert(replica, attempt + 1);
+            ctx.recorder.record(Event::MdSegment {
+                replica,
+                slot,
+                cycle: ctx.replicas[replica].segments_done,
+                dim: 0,
+                attempt,
+                cores: done.cores,
+                start: done.start.as_secs(),
+                end: done.end.as_secs(),
+                ok: false,
+            });
+            match ctx.cfg.fault_policy {
+                FaultPolicy::Relaunch { max_retries } if attempt < max_retries => {
+                    ctx.relaunched_tasks += 1;
+                    if ctx.recorder.is_enabled() {
+                        ctx.recorder.record(Event::TaskRelaunch {
+                            name: done.name.clone(),
+                            slot,
+                            attempt: attempt + 1,
+                            at: ctx.pilot.executor.now().as_secs(),
+                        });
+                    }
+                    submit_md(ctx, st, replica, attempt + 1)?;
+                }
+                _ => {
+                    // Continue (or retries exhausted): mark the replica
+                    // stale — it sits out acceptance in its next round,
+                    // exactly as the synchronous driver treats it — and let
+                    // it rejoin through the ready set (asynchronous
+                    // recovery: nobody waits).
+                    ctx.replicas[replica].stale = true;
+                    if ctx.replicas[replica].segments_done < st.n_segments {
+                        st.ready.push(replica);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Emit the per-attempt outcome events followed by their covering window
@@ -234,17 +303,12 @@ fn record_exchange_events(
 
 /// Exchange the ready subset (adjacent-slot pairs within consecutive runs)
 /// and resume MD for all of them.
-fn flush_ready(
-    ctx: &mut DriverCtx,
-    ready: &mut Vec<usize>,
-    round: u64,
-    in_flight: &mut HashMap<String, (usize, u32)>,
-    ex_meta: &mut HashMap<String, (u64, usize)>,
-) -> Result<(), String> {
+fn flush_ready(ctx: &mut DriverCtx, st: &mut AsyncLoopState, round: u64) -> Result<(), String> {
+    let ready = std::mem::take(&mut st.ready);
     if ready.len() >= 2 && !ctx.cfg.no_exchange {
-        let (desc, work) = ctx.partial_exchange_unit(0, round, ready);
+        let (desc, work) = ctx.partial_exchange_unit(0, round, &ready);
         if ctx.recorder.is_enabled() {
-            ex_meta.insert(desc.name.clone(), (round, ready.len()));
+            st.ex_meta.insert(desc.name.clone(), (round, ready.len()));
         }
         ctx.pilot.executor.submit(desc, work)?;
     }
@@ -252,41 +316,77 @@ fn flush_ready(
     // exchange unit's swaps apply when its completion pops in the main
     // loop, so a replica picks up its new parameters on the segment after
     // next — the relaxed consistency inherent to asynchronous exchange.
-    for replica in ready.drain(..) {
-        let slot = ctx.replicas[replica].slot;
-        submit_md(ctx, slot, 0, in_flight)?;
+    // The attempt number comes from the retry counter so a segment that
+    // failed under the Continue policy resubmits under a fresh name/seed.
+    for replica in ready {
+        let attempt = st.retry.get(&replica).copied().unwrap_or(0);
+        submit_md(ctx, st, replica, attempt)?;
     }
     Ok(())
 }
 
+/// Submit attempt `attempt` of `replica`'s next segment at its current
+/// slot, recording it in the relaunch bookkeeping and (when checkpointing)
+/// stashing a pre-segment restart snapshot: the executor runs payloads
+/// eagerly, so by the time a checkpoint is written this segment will
+/// already have advanced the live `System`.
 fn submit_md(
     ctx: &mut DriverCtx,
-    slot: usize,
-    retries: u32,
-    in_flight: &mut HashMap<String, (usize, u32)>,
+    st: &mut AsyncLoopState,
+    replica: usize,
+    attempt: u32,
 ) -> Result<(), String> {
-    let replica = ctx.slot_owner[slot];
+    let slot = ctx.replicas[replica].slot;
     let cycle = ctx.replicas[replica].segments_done;
     let mut spec = ctx.md_spec(slot, cycle, 0);
-    spec.seed = spec.seed.wrapping_add((retries as u64) << 32);
+    // Pure function of (slot, attempt): a resumed campaign re-derives the
+    // same retry seed (attempt 0 keeps the base seed unchanged).
+    spec.seed = super::attempt_seed(spec.seed, slot, attempt);
+    if ctx.checkpoint.is_some() {
+        let text = {
+            let sys = ctx.replicas[replica].system.lock();
+            mdsim::io::restart::write_restart_with_cycle(
+                &format!("replica {replica}"),
+                &sys.state,
+                cycle,
+            )
+        };
+        ctx.preseg_snapshots.insert(replica, text);
+    }
     let (mut desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
     // Per-attempt unique name: a relaunched segment must never collide
     // with (and inherit the stale retry count of) an earlier attempt.
-    desc.name = super::attempt_task_name(&desc.name, 0, retries);
-    if in_flight.insert(desc.name.clone(), (slot, retries)).is_some() {
+    desc.name = super::attempt_task_name(&desc.name, 0, attempt);
+    if st.in_flight.insert(desc.name.clone(), InFlight { slot, replica, attempt }).is_some() {
         return Err(format!("duplicate in-flight unit name {}", desc.name));
     }
     ctx.pilot.executor.submit(desc, work)?;
     Ok(())
 }
 
-fn resubmit_md(
-    ctx: &mut DriverCtx,
-    slot: usize,
-    retries: u32,
-    in_flight: &mut HashMap<String, (usize, u32)>,
+/// Serialize the loop state into a campaign checkpoint (sorted for a
+/// deterministic encoding) and write it if a policy is configured.
+fn write_async_checkpoint(
+    ctx: &DriverCtx,
+    st: &AsyncLoopState,
+    next_tick: f64,
+    exchange_rounds: u64,
 ) -> Result<(), String> {
-    submit_md(ctx, slot, retries, in_flight)
+    let mut in_flight: Vec<(usize, u32)> =
+        st.in_flight.values().map(|f| (f.replica, f.attempt)).collect();
+    in_flight.sort_unstable();
+    let mut retry: Vec<(usize, u32)> = st.retry.iter().map(|(&r, &a)| (r, a)).collect();
+    retry.sort_unstable();
+    let mut ready = st.ready.clone();
+    ready.sort_unstable();
+    let sched = SchedulerState::Async(AsyncSchedulerState {
+        next_tick,
+        exchange_rounds,
+        ready,
+        in_flight,
+        retry,
+    });
+    crate::checkpoint::write_if_configured(ctx, sched, &[])
 }
 
 impl DriverCtx {
@@ -378,8 +478,10 @@ impl DriverCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Pattern, SimulationConfig};
+    use crate::checkpoint::{CampaignCheckpoint, CheckpointPolicy};
+    use crate::config::{FaultPolicy, Pattern, SimulationConfig};
     use crate::simulation::build_ctx;
+    use hpc::fault::FaultModel;
 
     fn async_cfg(n: usize, segments: u64) -> SimulationConfig {
         let mut cfg = SimulationConfig::t_remd(n, 600, segments);
@@ -487,5 +589,63 @@ mod tests {
         cfg.pattern = Pattern::Synchronous;
         let mut ctx = build_ctx(cfg).unwrap();
         assert!(run_async(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn async_continue_policy_marks_stale_but_run_survives() {
+        // Async analogue of the sync driver's continue-policy test: heavy
+        // fault injection, no relaunches, yet every replica completes (the
+        // retry counters give each resubmission a fresh name and seed, so
+        // the deterministic failure draw cannot repeat forever).
+        let mut cfg = async_cfg(12, 3);
+        cfg.fault_policy = FaultPolicy::Continue;
+        let mut ctx = build_ctx(cfg).unwrap();
+        ctx.pilot =
+            crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(20.0).unwrap()).unwrap();
+        run_async(&mut ctx).unwrap();
+        assert!(ctx.failed_tasks > 0, "fault injection produced no failures");
+        assert_eq!(ctx.relaunched_tasks, 0);
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 3, "replica {} incomplete", r.id);
+        }
+    }
+
+    #[test]
+    fn async_relaunch_policy_retries_and_completes() {
+        let mut cfg = async_cfg(12, 3);
+        cfg.fault_policy = FaultPolicy::Relaunch { max_retries: 25 };
+        let mut ctx = build_ctx(cfg).unwrap();
+        ctx.pilot =
+            crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(30.0).unwrap()).unwrap();
+        run_async(&mut ctx).unwrap();
+        assert!(ctx.failed_tasks > 0);
+        assert!(ctx.relaunched_tasks > 0, "relaunch policy must retry");
+        for r in &ctx.replicas {
+            assert_eq!(r.segments_done, 3, "replica {} incomplete", r.id);
+        }
+    }
+
+    #[test]
+    fn async_checkpoint_resume_completes_the_campaign() {
+        let dir = std::env::temp_dir().join(format!("repex-async-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ctx = build_ctx(async_cfg(8, 4)).unwrap();
+        ctx.checkpoint = Some(CheckpointPolicy::new(&dir, 1));
+        ctx.cycle_limit = Some(2);
+        let out1 = run_async(&mut ctx).unwrap();
+        assert_eq!(out1.exchange_rounds, 2, "stopped at the round limit");
+        assert!(
+            ctx.replicas.iter().any(|r| r.segments_done < 4),
+            "interruption left the campaign incomplete"
+        );
+        let mut resumed = CampaignCheckpoint::load(&dir).unwrap().restore().unwrap();
+        resumed.checkpoint = Some(CheckpointPolicy::new(&dir, 1));
+        let out2 = run_async(&mut resumed).unwrap();
+        for r in &resumed.replicas {
+            assert_eq!(r.segments_done, 4, "replica {} incomplete after resume", r.id);
+        }
+        assert!(out2.exchange_rounds >= out1.exchange_rounds);
+        assert!(out2.makespan > out1.makespan, "the clock resumes where it stopped");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,12 +18,26 @@ use std::collections::HashMap;
 
 /// Run the configured number of synchronous cycles; returns per-cycle
 /// reports.
+///
+/// Resume-aware: starts at `ctx.completed_cycles` (nonzero when the context
+/// was restored from a checkpoint) and prepends the interrupted leg's cycle
+/// reports, so a resumed campaign's final report covers the whole run.
+/// Every cycle barrier is a consistency point: when a checkpoint policy is
+/// configured one is written on the interval, after any cycle that saw
+/// failures, and at the end of the leg.
 pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
-    let mut reports = Vec::with_capacity(ctx.cfg.n_cycles as usize);
+    let start_cycle = ctx.completed_cycles;
+    let end_cycle = match ctx.cycle_limit {
+        Some(k) => ctx.cfg.n_cycles.min(start_cycle.saturating_add(k)),
+        None => ctx.cfg.n_cycles,
+    };
+    let mut reports = std::mem::take(&mut ctx.prior_cycle_reports);
+    reports.reserve(end_cycle.saturating_sub(start_cycle) as usize);
     let progress_every = ctx.cfg.progress_every;
     let mut tc_hist = obs::LogHistogram::new();
     let mut straggler_flags = 0usize;
-    for cycle in 0..ctx.cfg.n_cycles {
+    let mut failed_at_last_checkpoint = ctx.failed_tasks;
+    for cycle in start_cycle..end_cycle {
         let (timing, events) = run_one_cycle(ctx, cycle)?;
         if progress_every > 0 {
             tc_hist.record(timing.total());
@@ -33,6 +47,20 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
         ctx.recorder.extend(events);
         ctx.record_rungs();
         reports.push(CycleReport { cycle, timing });
+        ctx.completed_cycles = cycle + 1;
+        if let Some(policy) = &ctx.checkpoint {
+            let due = policy.due(ctx.completed_cycles)
+                || ctx.failed_tasks > failed_at_last_checkpoint
+                || cycle + 1 == end_cycle;
+            if due {
+                crate::checkpoint::write_if_configured(
+                    ctx,
+                    crate::checkpoint::SchedulerState::Sync { cycles_done: ctx.completed_cycles },
+                    &reports,
+                )?;
+                failed_at_last_checkpoint = ctx.failed_tasks;
+            }
+        }
         if progress_every > 0 && (cycle + 1) % progress_every == 0 {
             eprintln!("{}", progress_line(ctx, cycle, &tc_hist, straggler_flags));
         }
@@ -75,9 +103,10 @@ fn submit_md_attempt(
     in_flight: &mut HashMap<String, (usize, u32)>,
 ) -> Result<(), String> {
     let mut spec = ctx.md_spec(slot, cycle, dim);
-    // Each relaunch attempt gets a perturbed seed so the retried
-    // trajectory is independent (attempt 0 keeps the base seed).
-    spec.seed = spec.seed.wrapping_add((attempt as u64) << 32);
+    // Each relaunch attempt gets a perturbed seed so the retried trajectory
+    // is independent (attempt 0 keeps the base seed). The perturbation is a
+    // pure function of (slot, attempt) so a resumed campaign re-derives it.
+    spec.seed = super::attempt_seed(spec.seed, slot, attempt);
     let (mut desc, work) = ctx.amm.prepare_md(spec, &ctx.pilot.staging)?;
     desc.name = super::attempt_task_name(&desc.name, dim, attempt);
     if in_flight.insert(desc.name.clone(), (slot, attempt)).is_some() {
@@ -151,8 +180,7 @@ fn run_one_cycle(ctx: &mut DriverCtx, cycle: u64) -> Result<(CycleTiming, Vec<Ev
         while let Some(done) = ctx.pilot.executor.next_completion() {
             match done.outcome {
                 Ok(TaskResult::Md(ref md)) => {
-                    let attempt =
-                        in_flight.remove(&done.name).map_or(0, |(_, attempt)| attempt);
+                    let attempt = in_flight.remove(&done.name).map_or(0, |(_, attempt)| attempt);
                     ctx.md_core_seconds += done.duration() * done.cores as f64;
                     events.push(Event::MdSegment {
                         replica: md.replica,
@@ -409,7 +437,8 @@ mod tests {
         cfg.fault_policy = FaultPolicy::Continue;
         let mut ctx = build_ctx(cfg).unwrap();
         // MTBF comparable to task length: plenty of failures.
-        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(20.0)).unwrap();
+        ctx.pilot =
+            crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(20.0).unwrap()).unwrap();
         let reports = run_sync(&mut ctx).unwrap();
         assert_eq!(reports.len(), 2, "simulation completed despite failures");
         assert!(ctx.failed_tasks > 0, "fault injection produced no failures");
@@ -421,7 +450,8 @@ mod tests {
         let mut cfg = quick_cfg(16);
         cfg.fault_policy = FaultPolicy::Relaunch { max_retries: 25 };
         let mut ctx = build_ctx(cfg).unwrap();
-        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(40.0)).unwrap();
+        ctx.pilot =
+            crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(40.0).unwrap()).unwrap();
         run_sync(&mut ctx).unwrap();
         assert!(ctx.failed_tasks > 0);
         assert!(ctx.relaunched_tasks > 0, "relaunch policy must retry");
@@ -445,7 +475,8 @@ mod tests {
         let recorder = obs::Recorder::enabled();
         let mut ctx = build_ctx(cfg).unwrap();
         ctx.recorder = recorder.clone();
-        ctx.pilot = crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(30.0)).unwrap();
+        ctx.pilot =
+            crate::simulation::make_pilot(&ctx.cfg, FaultModel::new(30.0).unwrap()).unwrap();
         run_sync(&mut ctx).unwrap();
         assert!(ctx.relaunched_tasks > 0, "fault model must trigger relaunches");
         let mut seen = std::collections::HashSet::new();

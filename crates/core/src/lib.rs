@@ -29,6 +29,7 @@
 
 pub mod amm;
 pub mod capabilities;
+pub mod checkpoint;
 pub mod config;
 pub mod diag;
 pub mod emm;

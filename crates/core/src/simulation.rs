@@ -18,6 +18,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Create the pilot for a configuration (exposed for fault-injection tests).
+///
+/// A configured stress [`hpc::Scenario`] layers onto the base fault model
+/// here: failure storms become a time-varying hazard, and duration-shaping
+/// scenarios (stragglers, heterogeneous nodes) ride along into the
+/// executor. Filesystem scenarios act through `cfg.cluster()` instead.
 pub fn make_pilot(cfg: &SimulationConfig, fault: FaultModel) -> Result<Pilot<TaskResult>, String> {
     let backend = match cfg.resource.backend.as_str() {
         "simulated" => Backend::Simulated,
@@ -26,7 +31,13 @@ pub fn make_pilot(cfg: &SimulationConfig, fault: FaultModel) -> Result<Pilot<Tas
     };
     let mut desc = PilotDescription::new(cfg.cluster()?, cfg.pilot_cores()?);
     desc.seed = cfg.seed;
-    PilotManager::new(backend).with_faults(fault).submit(desc)
+    let mgr = match cfg.scenario {
+        Some(sc) => PilotManager::new(backend)
+            .with_hazard(sc.hazard(fault).map_err(|e| format!("scenario: {e}"))?)
+            .with_scenario(Some(sc)),
+        None => PilotManager::new(backend).with_faults(fault),
+    };
+    mgr.submit(desc)
 }
 
 /// Build the full driver context from a validated configuration.
@@ -63,7 +74,10 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
     }
 
     // Config-declared failure injection; `with_faults` can still override.
-    let fault = cfg.fault_mtbf_seconds.map_or(FaultModel::NONE, FaultModel::new);
+    let fault = match cfg.fault_mtbf_seconds {
+        Some(mtbf) => FaultModel::new(mtbf).map_err(|e| format!("fault-mtbf-seconds: {e}"))?,
+        None => FaultModel::NONE,
+    };
     let pilot = make_pilot(&cfg, fault)?;
     let cluster = cfg.cluster()?;
     let simulated = cfg.resource.backend == "simulated";
@@ -90,6 +104,12 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
         relaunched_tasks: 0,
         md_core_seconds: 0.0,
         recorder: obs::Recorder::default(),
+        completed_cycles: 0,
+        prior_cycle_reports: Vec::new(),
+        async_resume: None,
+        checkpoint: None,
+        cycle_limit: None,
+        preseg_snapshots: Default::default(),
     })
 }
 
@@ -109,6 +129,43 @@ impl RemdSimulation {
         // The rebuilt pilot must keep observing into the same sink.
         self.ctx.pilot.executor.set_recorder(self.ctx.recorder.clone());
         Ok(self)
+    }
+
+    /// Resume an interrupted campaign from the checkpoint in `dir`. The
+    /// returned simulation continues exactly where the interrupted one
+    /// stopped; pass the same directory to [`Self::with_checkpoints`] again
+    /// to keep the resumed leg durable too.
+    pub fn resume(dir: &std::path::Path) -> Result<Self, String> {
+        let ctx = crate::checkpoint::CampaignCheckpoint::load(dir)?.restore()?;
+        Ok(RemdSimulation { ctx })
+    }
+
+    /// Write a campaign checkpoint into `dir` every `every` completed
+    /// cycles (sync) or exchange rounds (async), after any cycle that saw
+    /// task failures, and at the end of the run.
+    pub fn with_checkpoints(mut self, dir: impl Into<std::path::PathBuf>, every: u64) -> Self {
+        self.ctx.checkpoint = Some(crate::checkpoint::CheckpointPolicy::new(dir, every));
+        self
+    }
+
+    /// Stop after this invocation has completed `limit` cycles (sync) or
+    /// exchange rounds (async) — a deterministic mid-campaign interruption
+    /// point for checkpoint/resume testing (`repex run --stop-after`).
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.ctx.cycle_limit = Some(limit);
+        self
+    }
+
+    /// Override the progress-line interval (useful after `resume`, which
+    /// restores the original run's configuration verbatim).
+    pub fn with_progress(mut self, every: u64) -> Self {
+        self.ctx.cfg.progress_every = every;
+        self
+    }
+
+    /// The active configuration (restored verbatim by [`Self::resume`]).
+    pub fn config(&self) -> &SimulationConfig {
+        &self.ctx.cfg
     }
 
     /// Attach a structured-event recorder (must be called before `run`).

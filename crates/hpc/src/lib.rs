@@ -16,13 +16,15 @@ pub mod fault;
 pub mod filesystem;
 pub mod perfmodel;
 pub mod queue;
+pub mod scenario;
 pub mod time;
 pub mod timeline;
 
 pub use cluster::{ClusterSpec, FilesystemSpec};
 pub use events::EventQueue;
-pub use fault::FaultModel;
+pub use fault::{FaultModel, FaultModelError, HazardModel};
 pub use filesystem::SharedFilesystem;
 pub use perfmodel::{EngineKind, ExchangeKind, PerfModel};
+pub use scenario::Scenario;
 pub use time::SimTime;
 pub use timeline::{CoreTimeline, Slot};

@@ -5,17 +5,37 @@
 //! `fault-policy` can cope is arithmetic on that rate: `continue` skips
 //! the failed replica's exchange (fine at 1 % failure, ensemble-fatal at
 //! 90 %), and a `relaunch` retry budget either absorbs the rate or
-//! exhausts with predictable probability.
+//! exhausts with predictable probability. A failure-storm scenario is
+//! judged at its *worst case* — the policy has to survive the storm
+//! windows, not the calm between them.
 
 use crate::{Diagnostic, LintOptions, PlanCtx};
 use hpc::fault::FaultModel;
 use repex::config::FaultPolicy;
 
 pub fn check(ctx: &PlanCtx, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
-    let Some(mtbf) = ctx.cfg.fault_mtbf_seconds else {
-        return;
+    let base = match ctx.cfg.fault_mtbf_seconds {
+        // Invalid values are C044's business; nothing sane to reason about.
+        Some(mtbf) => match FaultModel::new(mtbf) {
+            Ok(model) => model,
+            Err(_) => return,
+        },
+        None => FaultModel::NONE,
     };
-    let p = FaultModel::new(mtbf).failure_probability(ctx.md_secs);
+    let worst = match &ctx.cfg.scenario {
+        Some(sc) => match sc.hazard(base) {
+            Ok(hazard) => hazard.worst_case(),
+            Err(_) => return, // C050 already flags the scenario
+        },
+        None => base,
+    };
+    if worst.rate() <= 0.0 {
+        return; // no injection from either source
+    }
+    let storm = worst.mtbf_seconds() < base.mtbf_seconds();
+    let regime = if storm { " during failure storms" } else { "" };
+    let mtbf = worst.mtbf_seconds();
+    let p = worst.failure_probability(ctx.md_secs);
     let pct = p * 100.0;
     match ctx.cfg.fault_policy {
         FaultPolicy::Continue => {
@@ -24,22 +44,24 @@ pub fn check(ctx: &PlanCtx, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
                     Diagnostic::error(
                         "L601",
                         format!(
-                            "each MD segment fails with probability {pct:.0}% (mtbf {mtbf} s \
-                             vs {:.0} s segments); under the continue policy most replicas sit \
-                             out most exchanges and the ensemble never equilibrates",
+                            "each MD segment fails with probability {pct:.0}%{regime} (mtbf \
+                             {mtbf} s vs {:.0} s segments); under the continue policy most \
+                             replicas sit out most exchanges and the ensemble never equilibrates",
                             ctx.md_secs,
                         ),
                     )
                     .with_path("/fault-policy")
-                    .with_hint("switch to the relaunch policy with a retry budget, or shorten segments"),
+                    .with_hint(
+                        "switch to the relaunch policy with a retry budget, or shorten segments",
+                    ),
                 );
             } else if p >= opts.fail_prob_warn {
                 out.push(
                     Diagnostic::warning(
                         "L601",
                         format!(
-                            "{pct:.1}% of MD segments fail (mtbf {mtbf} s vs {:.0} s segments) \
-                             and skip their exchange under the continue policy",
+                            "{pct:.1}% of MD segments fail{regime} (mtbf {mtbf} s vs {:.0} s \
+                             segments) and skip their exchange under the continue policy",
                             ctx.md_secs,
                         ),
                     )
@@ -69,7 +91,7 @@ pub fn check(ctx: &PlanCtx, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
                         "L602",
                         format!(
                             "a task exhausts its {max_retries}-retry budget with probability \
-                             {:.1}% (every attempt fails with probability {pct:.0}%)",
+                             {:.1}%{regime} (every attempt fails with probability {pct:.0}%)",
                             p_exhaust * 100.0,
                         ),
                     )
@@ -167,5 +189,38 @@ mod tests {
         let cfg = SimulationConfig::t_remd(8, 6000, 3);
         let diags = lint_config(&cfg, &LintOptions::default());
         assert!(!diags.iter().any(|d| d.code.starts_with("L6")), "{diags:?}");
+    }
+
+    #[test]
+    fn storm_worst_case_drives_the_fault_lints() {
+        // The baseline rate is benign (p ≈ 0.1%) but the storm windows drop
+        // the MTBF to 50 s (p ≈ 94%): the policy is judged at the worst case.
+        let mut cfg = faulty(100_000.0, FaultPolicy::Continue);
+        cfg.scenario = Some(hpc::Scenario::FailureStorm {
+            storm_mtbf_seconds: 50.0,
+            period_seconds: 2000.0,
+            storm_fraction: 0.25,
+        });
+        let diags = lint_config(&cfg, &LintOptions::default());
+        let l601 = diags.iter().find(|d| d.code == "L601");
+        assert!(l601.is_some_and(|d| d.severity == Severity::Error), "{diags:?}");
+        assert!(
+            l601.is_some_and(|d| d.message.contains("storm")),
+            "the finding names the storm regime: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn storm_without_baseline_injection_still_lints() {
+        // `fault-mtbf-seconds` unset does not silence the rule when a storm
+        // scenario injects failures on its own.
+        let mut cfg = SimulationConfig::t_remd(8, 6000, 3);
+        cfg.scenario = Some(hpc::Scenario::FailureStorm {
+            storm_mtbf_seconds: 50.0,
+            period_seconds: 2000.0,
+            storm_fraction: 0.25,
+        });
+        let diags = lint_config(&cfg, &LintOptions::default());
+        assert!(diags.iter().any(|d| d.code == "L601"), "{diags:?}");
     }
 }

@@ -1,9 +1,14 @@
 //! Amber-style restart files (`.rst7`, formatted).
 //!
-//! Format: a title line; a line with the atom count and the simulation time
-//! in ps; coordinates (6 fixed-width `%15.7f` fields per line); velocities
-//! in the same layout. (Amber's rst7 uses `%12.7f`; we widen to 15 so fields
-//! can never run together for large coordinates.) This is the file the AMM
+//! Format: a title line; a header line with the atom count, the simulation
+//! time in ps, the integrator step and a campaign cycle counter; coordinates
+//! (6 fixed-width scientific fields per line); velocities in the same
+//! layout. Two deliberate departures from Amber's rst7: floats are written
+//! with 17 significant digits, which round-trips every finite `f64` exactly
+//! (campaign checkpoints serialize replica microstates through this format,
+//! and a resumed run must continue bit-for-bit), and the header carries the
+//! step/cycle counters that the classic format drops (readers accept old
+//! two-field headers, parsing step = cycle = 0). This is the file the AMM
 //! stages between MD cycles and that exchange winners swap.
 
 use crate::system::State;
@@ -21,12 +26,18 @@ impl std::fmt::Display for RestartError {
 
 impl std::error::Error for RestartError {}
 
-/// Serialize a [`State`] to restart-file text.
+/// Serialize a [`State`] to restart-file text (cycle recorded as 0).
 pub fn write_restart(title: &str, state: &State) -> String {
+    write_restart_with_cycle(title, state, 0)
+}
+
+/// Serialize a [`State`] to restart-file text, recording a campaign cycle
+/// number (the replica's completed-segment count) alongside the step.
+pub fn write_restart_with_cycle(title: &str, state: &State, cycle: u64) -> String {
     let n = state.n_atoms();
-    let mut s = String::with_capacity(32 + n * 80);
+    let mut s = String::with_capacity(64 + n * 160);
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "{n:6}{:15.7}", state.time_ps);
+    let _ = writeln!(s, "{n:6}{:25.16e} {} {}", state.time_ps, state.step, cycle);
     write_triplets(&mut s, &state.positions);
     write_triplets(&mut s, &state.velocities);
     s
@@ -36,7 +47,7 @@ fn write_triplets(s: &mut String, vecs: &[Vec3]) {
     let mut fields = 0;
     for v in vecs {
         for c in [v.x, v.y, v.z] {
-            let _ = write!(s, "{c:15.7}");
+            let _ = write!(s, "{c:25.16e}");
             fields += 1;
             if fields % 6 == 0 {
                 s.push('\n');
@@ -48,9 +59,15 @@ fn write_triplets(s: &mut String, vecs: &[Vec3]) {
     }
 }
 
-/// Parse restart-file text back into a [`State`] (step is not stored in the
-/// format; callers track it separately, matching Amber).
+/// Parse restart-file text back into a [`State`] (the campaign cycle in the
+/// header, if any, is discarded).
 pub fn read_restart(text: &str) -> Result<State, RestartError> {
+    read_restart_with_cycle(text).map(|(state, _)| state)
+}
+
+/// Parse restart-file text into a [`State`] plus the campaign cycle number
+/// from the header (0 for files that predate the header extension).
+pub fn read_restart_with_cycle(text: &str) -> Result<(State, u64), RestartError> {
     let mut lines = text.lines();
     let _title = lines.next().ok_or_else(|| RestartError("empty file".into()))?;
     let header = lines.next().ok_or_else(|| RestartError("missing header line".into()))?;
@@ -63,6 +80,17 @@ pub fn read_restart(text: &str) -> Result<State, RestartError> {
         .next()
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| RestartError(format!("bad time in {header:?}")))?;
+    let step: u64 = match parts.next() {
+        Some(tok) => tok.parse().map_err(|_| RestartError(format!("bad step in {header:?}")))?,
+        None => 0,
+    };
+    let cycle: u64 = match parts.next() {
+        Some(tok) => tok.parse().map_err(|_| RestartError(format!("bad cycle in {header:?}")))?,
+        None => 0,
+    };
+    if parts.next().is_some() {
+        return Err(RestartError(format!("trailing header fields in {header:?}")));
+    }
 
     let rest: String = lines.collect::<Vec<_>>().join(" ");
     let values: Vec<f64> = rest
@@ -79,12 +107,13 @@ pub fn read_restart(text: &str) -> Result<State, RestartError> {
     let to_vecs = |vals: &[f64]| -> Vec<Vec3> {
         vals.chunks_exact(3).map(|c| Vec3::new(c[0], c[1], c[2])).collect()
     };
-    Ok(State {
+    let state = State {
         positions: to_vecs(&values[..3 * n]),
         velocities: to_vecs(&values[3 * n..]),
         time_ps,
-        step: 0,
-    })
+        step,
+    };
+    Ok((state, cycle))
 }
 
 #[cfg(test)]
@@ -105,18 +134,49 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_exact_enough() {
-        let st = sample_state(7);
+    fn roundtrip_is_exact() {
+        let mut st = sample_state(7);
+        st.step = 4200;
+        st.time_ps = 0.1 + 0.2; // not representable "nicely"
         let text = write_restart("replica 3 cycle 9", &st);
         let back = read_restart(&text).unwrap();
         assert_eq!(back.n_atoms(), 7);
-        assert!((back.time_ps - 12.5).abs() < 1e-6);
+        assert_eq!(back.time_ps, st.time_ps);
+        assert_eq!(back.step, 4200);
         for (a, b) in st.positions.iter().zip(&back.positions) {
-            assert!((*a - *b).norm() < 1e-6);
+            assert_eq!((a.x, a.y, a.z), (b.x, b.y, b.z));
         }
         for (a, b) in st.velocities.iter().zip(&back.velocities) {
-            assert!((*a - *b).norm() < 1e-6);
+            assert_eq!((a.x, a.y, a.z), (b.x, b.y, b.z));
         }
+    }
+
+    #[test]
+    fn step_and_cycle_survive_the_round_trip() {
+        let mut st = sample_state(3);
+        st.step = 987_654_321;
+        let text = write_restart_with_cycle("t", &st, 17);
+        let (back, cycle) = read_restart_with_cycle(&text).unwrap();
+        assert_eq!(back.step, 987_654_321);
+        assert_eq!(cycle, 17);
+        // The plain reader keeps the step and drops only the cycle.
+        assert_eq!(read_restart(&text).unwrap().step, 987_654_321);
+    }
+
+    #[test]
+    fn header_without_step_or_cycle_still_parses() {
+        // Files written before the header extension: two fields only.
+        let text = "old file\n     1 1.5\n1.0 2.0 3.0 0.1 0.2 0.3\n";
+        let (st, cycle) = read_restart_with_cycle(text).unwrap();
+        assert_eq!(st.n_atoms(), 1);
+        assert_eq!(st.time_ps, 1.5);
+        assert_eq!(st.step, 0);
+        assert_eq!(cycle, 0);
+        // Step without cycle is also accepted.
+        let text = "old file\n     1 1.5 42\n1.0 2.0 3.0 0.1 0.2 0.3\n";
+        let (st, cycle) = read_restart_with_cycle(text).unwrap();
+        assert_eq!(st.step, 42);
+        assert_eq!(cycle, 0);
     }
 
     #[test]
@@ -142,11 +202,18 @@ mod tests {
         assert!(read_restart("").is_err());
         assert!(read_restart("title\nnot_a_number 0.0\n").is_err());
         assert!(read_restart("title\n2 0.0\n1.0 2.0 x 4.0 5.0 6.0\n").is_err());
+        assert!(read_restart("title\n1 0.0 -3\n1 2 3 4 5 6\n").is_err());
+        assert!(read_restart("title\n1 0.0 0 0 99\n1 2 3 4 5 6\n").is_err());
     }
 
     proptest! {
         #[test]
-        fn roundtrip_random_states(n in 1usize..40, seed in 0u64..1000) {
+        fn roundtrip_random_states(
+            n in 1usize..40,
+            seed in 0u64..1000,
+            step in 0u64..u64::MAX,
+            cycle in 0u64..100_000,
+        ) {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let mut st = State::zeros(n);
@@ -157,12 +224,18 @@ mod tests {
                 *v = Vec3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
             }
             st.time_ps = rng.gen_range(0.0..1e4);
-            let back = read_restart(&write_restart("x", &st)).unwrap();
+            st.step = step;
+            let (back, back_cycle) =
+                read_restart_with_cycle(&write_restart_with_cycle("x", &st, cycle)).unwrap();
+            prop_assert_eq!(back.step, step);
+            prop_assert_eq!(back_cycle, cycle);
+            prop_assert_eq!(back.time_ps, st.time_ps);
+            // Bit-exact round trip: checkpoint/resume depends on it.
             for (a, b) in st.positions.iter().zip(&back.positions) {
-                prop_assert!((*a - *b).norm() < 1e-5);
+                prop_assert_eq!((a.x, a.y, a.z), (b.x, b.y, b.z));
             }
             for (a, b) in st.velocities.iter().zip(&back.velocities) {
-                prop_assert!((*a - *b).norm() < 1e-5);
+                prop_assert_eq!((a.x, a.y, a.z), (b.x, b.y, b.z));
             }
         }
     }

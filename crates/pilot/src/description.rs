@@ -35,6 +35,11 @@ pub struct UnitDescription {
     pub input_staging: Vec<String>,
     /// Names of staged output files the unit writes.
     pub output_staging: Vec<String>,
+    /// Replica this unit works for, when it works for exactly one — keys
+    /// stable per-replica placement effects (heterogeneous node speeds).
+    /// `None` for collective units such as exchanges.
+    #[serde(default)]
+    pub replica: Option<usize>,
 }
 
 impl UnitDescription {
@@ -46,11 +51,17 @@ impl UnitDescription {
             duration: DurationSpec::Measured,
             input_staging: Vec::new(),
             output_staging: Vec::new(),
+            replica: None,
         }
     }
 
     pub fn with_duration(mut self, d: DurationSpec) -> Self {
         self.duration = d;
+        self
+    }
+
+    pub fn with_replica(mut self, replica: usize) -> Self {
+        self.replica = Some(replica);
         self
     }
 

@@ -74,6 +74,15 @@ pub trait Executor<R> {
     /// Total overhead charged so far.
     fn overhead_charged(&self) -> f64;
 
+    /// Advance the clock to `to_seconds` (if later than now) without
+    /// charging overhead — used when resuming a checkpointed campaign so
+    /// virtual time continues from where the interrupted run stopped. The
+    /// default is a no-op: executors without a restorable clock (real
+    /// threads) ignore it.
+    fn fast_forward(&mut self, to_seconds: f64) {
+        let _ = to_seconds;
+    }
+
     /// Attach a structured-event recorder. Executors count submissions,
     /// failures and overhead charges against it; the default implementation
     /// ignores the recorder (tracing stays opt-in per executor).

@@ -12,7 +12,8 @@ use crate::local::LocalExecutor;
 use crate::sim::SimExecutor;
 use crate::staging::StagingArea;
 use crate::states::PilotState;
-use hpc::fault::FaultModel;
+use hpc::fault::{FaultModel, HazardModel};
+use hpc::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,18 +45,31 @@ impl<R> Pilot<R> {
 /// Creates pilots against either backend.
 pub struct PilotManager {
     backend: Backend,
-    fault: FaultModel,
+    hazard: HazardModel,
+    scenario: Option<Scenario>,
 }
 
 impl PilotManager {
     pub fn new(backend: Backend) -> Self {
-        PilotManager { backend, fault: FaultModel::NONE }
+        PilotManager { backend, hazard: HazardModel::NONE, scenario: None }
     }
 
-    /// Enable failure injection for pilots created by this manager
-    /// (simulated backend only; local payloads fail on their own).
+    /// Enable constant-rate failure injection for pilots created by this
+    /// manager (simulated backend only; local payloads fail on their own).
     pub fn with_faults(mut self, fault: FaultModel) -> Self {
-        self.fault = fault;
+        self.hazard = HazardModel::Constant(fault);
+        self
+    }
+
+    /// Enable a time-varying failure hazard (failure storms).
+    pub fn with_hazard(mut self, hazard: HazardModel) -> Self {
+        self.hazard = hazard;
+        self
+    }
+
+    /// Layer a stress scenario over task durations (simulated backend only).
+    pub fn with_scenario(mut self, scenario: Option<Scenario>) -> Self {
+        self.scenario = scenario;
         self
     }
 
@@ -68,9 +82,11 @@ impl PilotManager {
             queue_wait = queue.sample_wait(desc.cores, &desc.cluster, &mut rng);
         }
         let executor: Box<dyn Executor<R>> = match self.backend {
-            Backend::Simulated => {
-                Box::new(SimExecutor::new(desc.cores, desc.seed).with_faults(self.fault))
-            }
+            Backend::Simulated => Box::new(
+                SimExecutor::new(desc.cores, desc.seed)
+                    .with_hazard(self.hazard)
+                    .with_scenario(self.scenario),
+            ),
             Backend::Local => Box::new(LocalExecutor::new(desc.cores)),
         };
         Ok(Pilot {

@@ -2,15 +2,34 @@
 
 use crate::description::{DurationSpec, UnitDescription};
 use crate::executor::{CompletedUnit, Executor, TaskWork, UnitId};
-use hpc::fault::FaultModel;
+use hpc::fault::{FaultModel, HazardModel};
 use hpc::perfmodel::NoiseModel;
+use hpc::scenario::Scenario;
 use hpc::timeline::CoreTimeline;
 use hpc::{EventQueue, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// FNV-1a over the unit name: the per-unit RNG stream key.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Executes payloads eagerly but charges modeled durations on a virtual
 /// core timeline. Deterministic given the seed.
+///
+/// All stochastic charges for a unit (straggler noise, scenario slowdowns,
+/// injected failures) are drawn from an RNG keyed by `seed ^ hash(name)`,
+/// not from a shared stream — a unit's fate is a pure function of its
+/// identity, independent of submission order. This is what makes a resumed
+/// campaign replay the identical failure/noise sequence: unit names encode
+/// (replica, cycle, attempt), so resubmitting the same work reproduces the
+/// same draws with no RNG state in the checkpoint.
 pub struct SimExecutor<R> {
     timeline: CoreTimeline,
     now: SimTime,
@@ -20,9 +39,10 @@ pub struct SimExecutor<R> {
     /// slots are pooled, so steady-state submission does not allocate.
     pending: EventQueue<CompletedUnit<R>>,
     next_id: u64,
-    fault: FaultModel,
+    hazard: HazardModel,
+    scenario: Option<Scenario>,
     noise: NoiseModel,
-    rng: StdRng,
+    seed: u64,
     overhead: f64,
     recorder: obs::Recorder,
 }
@@ -34,17 +54,30 @@ impl<R> SimExecutor<R> {
             now: SimTime::ZERO,
             pending: EventQueue::new(),
             next_id: 0,
-            fault: FaultModel::NONE,
+            hazard: HazardModel::NONE,
+            scenario: None,
             noise: NoiseModel::default(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             overhead: 0.0,
             recorder: obs::Recorder::default(),
         }
     }
 
-    /// Enable failure injection.
+    /// Enable constant-rate failure injection.
     pub fn with_faults(mut self, fault: FaultModel) -> Self {
-        self.fault = fault;
+        self.hazard = HazardModel::Constant(fault);
+        self
+    }
+
+    /// Enable time-varying failure injection (failure storms).
+    pub fn with_hazard(mut self, hazard: HazardModel) -> Self {
+        self.hazard = hazard;
+        self
+    }
+
+    /// Layer a stress scenario over task durations.
+    pub fn with_scenario(mut self, scenario: Option<Scenario>) -> Self {
+        self.scenario = scenario;
         self
     }
 
@@ -72,9 +105,15 @@ impl<R> Executor<R> for SimExecutor<R> {
         }
         // Run the payload now; the result becomes visible at completion time.
         let result = work();
+        // Every stochastic charge for this unit comes from its own stream.
+        let mut unit_rng = StdRng::seed_from_u64(self.seed ^ name_hash(&desc.name));
         let modeled = match desc.duration {
             DurationSpec::Modeled { seconds, sigma } => {
-                seconds * self.noise.factor(sigma, &mut self.rng)
+                let mut m = seconds * self.noise.factor(sigma, &mut unit_rng);
+                if let Some(sc) = &self.scenario {
+                    m *= sc.speed_factor(desc.replica, self.seed, &mut unit_rng);
+                }
+                m
             }
             DurationSpec::Measured => {
                 // Measure the (already-run) payload is impossible post hoc;
@@ -83,11 +122,14 @@ impl<R> Executor<R> for SimExecutor<R> {
                 0.0
             }
         };
-        // Failure injection: the task dies partway through its slot.
-        let (duration, outcome) = match self.fault.sample_failure(modeled, &mut self.rng) {
-            Some(t_fail) => (t_fail, Err(format!("injected task failure after {t_fail:.1}s"))),
-            None => (modeled, result),
-        };
+        // Failure injection: the task dies partway through its slot. Storm
+        // hazards are phased by submission time (queue delay inside the
+        // pilot is not re-phased; the storm window is long relative to it).
+        let (duration, outcome) =
+            match self.hazard.sample_failure(self.now.as_secs(), modeled, &mut unit_rng) {
+                Some(t_fail) => (t_fail, Err(format!("injected task failure after {t_fail:.1}s"))),
+                None => (modeled, result),
+            };
         let slot = self.timeline.schedule(desc.cores, duration, self.now);
         self.recorder.count("pilot.units_submitted", 1);
         if outcome.is_err() {
@@ -135,6 +177,14 @@ impl<R> Executor<R> for SimExecutor<R> {
 
     fn overhead_charged(&self) -> f64 {
         self.overhead
+    }
+
+    fn fast_forward(&mut self, to_seconds: f64) {
+        let to = SimTime::seconds(to_seconds);
+        if to > self.now {
+            self.now = to;
+            self.timeline.barrier(self.now);
+        }
     }
 
     fn set_recorder(&mut self, recorder: obs::Recorder) {
@@ -219,7 +269,8 @@ mod tests {
 
     #[test]
     fn fault_injection_fails_some_tasks_early() {
-        let mut ex: SimExecutor<()> = SimExecutor::new(64, 3).with_faults(FaultModel::new(500.0));
+        let mut ex: SimExecutor<()> =
+            SimExecutor::new(64, 3).with_faults(FaultModel::new(500.0).unwrap());
         for i in 0..64 {
             ex.submit(unit(&format!("t{i}"), 1, 1000.0), Box::new(|| Ok(()))).unwrap();
         }
@@ -230,6 +281,80 @@ mod tests {
         for f in &failed {
             assert!(f.duration() < 1000.0, "failed tasks end early");
         }
+    }
+
+    #[test]
+    fn unit_fate_is_a_pure_function_of_its_name() {
+        // Same units submitted in a different order draw identical noise and
+        // failures: the per-unit RNG stream is keyed by (seed, name) only.
+        let run = |order: &[usize]| -> Vec<(String, f64, bool)> {
+            let mut ex: SimExecutor<()> =
+                SimExecutor::new(8, 5).with_faults(FaultModel::new(300.0).unwrap());
+            for &i in order {
+                let d = UnitDescription::new(format!("t{i}"), "sander", 1)
+                    .with_duration(DurationSpec::Modeled { seconds: 200.0, sigma: 0.05 });
+                ex.submit(d, Box::new(|| Ok(()))).unwrap();
+            }
+            let mut done: Vec<_> = drain(&mut ex)
+                .into_iter()
+                .map(|c| (c.name.clone(), c.duration(), c.is_failed()))
+                .collect();
+            done.sort_by(|a, b| a.0.cmp(&b.0));
+            done
+        };
+        let forward = run(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let reversed = run(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn fast_forward_restores_the_clock_without_overhead() {
+        let mut ex: SimExecutor<()> = SimExecutor::new(2, 1);
+        ex.fast_forward(123.5);
+        assert_eq!(ex.now().as_secs(), 123.5);
+        assert_eq!(ex.overhead_charged(), 0.0);
+        // Work scheduled after the jump starts at the restored clock.
+        ex.submit(unit("a", 1, 1.0), Box::new(|| Ok(()))).unwrap();
+        let done = drain(&mut ex);
+        assert_eq!(done[0].start.as_secs(), 123.5);
+        // Rewinding is refused: fast_forward never moves time backwards.
+        ex.fast_forward(50.0);
+        assert_eq!(ex.now().as_secs(), 124.5);
+    }
+
+    #[test]
+    fn straggler_scenario_stretches_some_tasks() {
+        let sc = Scenario::Stragglers { fraction: 0.3, slowdown: 4.0 };
+        let mut ex: SimExecutor<()> = SimExecutor::new(64, 9).with_scenario(Some(sc));
+        for i in 0..64 {
+            ex.submit(unit(&format!("t{i}"), 1, 100.0), Box::new(|| Ok(()))).unwrap();
+        }
+        let done = drain(&mut ex);
+        let slow = done.iter().filter(|c| c.duration() > 300.0).count();
+        assert!(slow > 0, "some tasks must straggle");
+        assert!(slow < 64, "not all tasks straggle");
+    }
+
+    #[test]
+    fn heterogeneous_scenario_slows_a_stable_replica_subset() {
+        let sc = Scenario::HeterogeneousNodes { slow_fraction: 0.5, slowdown: 3.0 };
+        let run = || -> Vec<bool> {
+            let mut ex: SimExecutor<()> = SimExecutor::new(16, 4).with_scenario(Some(sc));
+            for r in 0..16 {
+                let d = UnitDescription::new(format!("md-r{r}"), "sander", 1)
+                    .with_duration(DurationSpec::Modeled { seconds: 100.0, sigma: 0.0 })
+                    .with_replica(r);
+                ex.submit(d, Box::new(|| Ok(()))).unwrap();
+            }
+            let mut done = drain(&mut ex);
+            done.sort_by(|a, b| a.name.cmp(&b.name));
+            done.iter().map(|c| c.duration() > 200.0).collect()
+        };
+        let first = run();
+        assert!(first.iter().any(|&s| s), "some replicas on slow nodes");
+        assert!(first.iter().any(|&s| !s), "some replicas on fast nodes");
+        // Membership is stable across runs (it keys off seed + replica id).
+        assert_eq!(first, run());
     }
 
     #[test]

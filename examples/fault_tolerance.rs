@@ -18,7 +18,7 @@ fn run(policy: FaultPolicy, mtbf: f64) -> repex::SimulationReport {
     cfg.seed = 11;
     RemdSimulation::new(cfg)
         .expect("valid config")
-        .with_faults(FaultModel::new(mtbf))
+        .with_faults(FaultModel::new(mtbf).expect("valid MTBF"))
         .expect("pilot")
         .run()
         .expect("the simulation must survive task failures")

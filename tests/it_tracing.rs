@@ -62,7 +62,7 @@ fn metrics_track_failures_and_relaunches() {
     let report = RemdSimulation::new(cfg)
         .unwrap()
         .with_recorder(recorder.clone())
-        .with_faults(hpc::fault::FaultModel::new(40.0))
+        .with_faults(hpc::fault::FaultModel::new(40.0).expect("test MTBF is valid"))
         .unwrap()
         .run()
         .unwrap();
