@@ -7,11 +7,15 @@
 //! repex run <config.json> [--json <out.json>]   run a simulation (pre-flight linted)
 //!           [--trace <trace.json>]              Chrome trace of the run
 //!           [--metrics <metrics.json>]          flat counters (failures, acceptances, ...)
+//!           [--metrics-stream <path>]           append live telemetry snapshots (JSONL)
+//!           [--prom <path>]                     Prometheus text exposition, rewritten live
+//!           [--campaign <name>]                 label for the telemetry stream (default: title)
 //!           [--progress <n>] [--force]          --force runs despite error-level findings
 //!           [--checkpoint <dir>]                write a resumable checkpoint every
 //!           [--checkpoint-every <n>]            n cycles (default 1) and on failure
 //!           [--stop-after <n>]                  checkpoint and stop after n more cycles
 //! repex run --resume <dir> [flags]              continue a checkpointed campaign
+//! repex watch <stream.jsonl> [--once] [--json]  tail a --metrics-stream file live
 //! repex check <config.json> [--json <out.json>]   static plan analysis (no execution)
 //! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
 //! repex analyze --bench <BENCH_*.json>...       compare perf records (provenance-linted)
@@ -24,6 +28,7 @@
 //! 0 = clean, 1 = error-level findings, 2 = usage/IO/parse error.
 
 mod analyze;
+mod watch;
 
 use analysis::tables::{f1, TextTable};
 use lint::report::Report;
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<u8, String> = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("watch") => watch::cmd_watch(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("analyze") => analyze::cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map(|()| 0),
@@ -63,8 +69,10 @@ fn print_usage() {
         "repex — flexible replica-exchange molecular dynamics\n\n\
          USAGE:\n  repex run <config.json> [--json <out.json>] \
 [--trace <trace.json>] [--metrics <metrics.json>] [--progress <n>] [--force]\n            \
-[--checkpoint <dir>] [--checkpoint-every <n>] [--stop-after <n>]\n  \
+[--checkpoint <dir>] [--checkpoint-every <n>] [--stop-after <n>]\n            \
+[--metrics-stream <snap.jsonl>] [--prom <metrics.prom>] [--campaign <name>]\n  \
          repex run --resume <dir> [flags]\n  \
+         repex watch <snap.jsonl> [--once] [--json]\n  \
          repex check <config.json> [--json <diag.json>]\n  \
          repex analyze <trace.json> [--json <out.json>] \
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
@@ -78,6 +86,14 @@ refuses\nerror-level findings unless --force.\n\
          --trace writes a Chrome Trace Event file (open in chrome://tracing \
 or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
 --progress prints a run-health line every n cycles.\n\
+         --metrics-stream appends one telemetry snapshot per exchange window \
+as a JSON\nline (tail it with repex watch); --prom rewrites a Prometheus \
+text-format file\natomically on every snapshot; --campaign sets the label \
+on both (DESIGN.md §12).\n\
+         watch tails a snapshot stream, printing a health line per snapshot \
+plus any\nfiring W2xx rules; --once prints the latest snapshot and exits; \
+--json emits\nmachine-readable JSON. Exit 1 if an error-severity finding \
+is active.\n\
          --checkpoint writes an atomic, versioned checkpoint.json every \
 --checkpoint-every\ncycles (and whenever a task fails); --resume reloads it \
 and continues the campaign\nas if never interrupted; --stop-after checkpoints \
@@ -157,6 +173,9 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
     let stop_after = uint_flag(args, "--stop-after")?;
     let force = args.iter().any(|a| a == "--force");
     let progress = uint_flag(args, "--progress")?;
+    let metrics_stream = flag_value(args, "--metrics-stream")?;
+    let prom_out = flag_value(args, "--prom")?;
+    let campaign = flag_value(args, "--campaign")?;
 
     let mut sim = match &resume_dir {
         Some(dir) => {
@@ -211,6 +230,13 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
     if let Some(n) = stop_after {
         sim = sim.with_cycle_limit(n);
     }
+    if metrics_stream.is_some() || prom_out.is_some() || campaign.is_some() {
+        sim = sim.with_live_telemetry(repex::emm::LiveTelemetry {
+            stream: metrics_stream.map(std::path::PathBuf::from),
+            prom: prom_out.map(std::path::PathBuf::from),
+            campaign,
+        });
+    }
     let recorder = if trace_out.is_some() || metrics_out.is_some() {
         let recorder = obs::Recorder::enabled();
         sim = sim.with_recorder(recorder.clone());
@@ -218,7 +244,27 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
     } else {
         obs::Recorder::disabled()
     };
-    let report = sim.run()?;
+    // Run, but flush the trace/metrics sinks whatever the outcome: a failed
+    // or --stop-after'd campaign is exactly when the recorded tail matters.
+    let run_result = sim.run();
+    let mut flush_err = None;
+    if let Some(out) = &trace_out {
+        match std::fs::write(out, recorder.chrome_trace_json()) {
+            Ok(()) => eprintln!("[trace written: {out} — open in chrome://tracing or Perfetto]"),
+            Err(e) => flush_err = Some(format!("cannot write {out}: {e}")),
+        }
+    }
+    if let Some(out) = &metrics_out {
+        match std::fs::write(out, recorder.metrics_json()) {
+            Ok(()) => eprintln!("[metrics written: {out}]"),
+            Err(e) => flush_err = Some(format!("cannot write {out}: {e}")),
+        }
+    }
+    // A run error outranks a flush error; report whichever happened first.
+    let report = run_result?;
+    if let Some(e) = flush_err {
+        return Err(e);
+    }
 
     println!("{}", report.summary());
     if !report.cycles.is_empty() {
@@ -275,16 +321,6 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
         let body = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[report written: {out}]");
-    }
-    if let Some(out) = trace_out {
-        std::fs::write(&out, recorder.chrome_trace_json())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
-        eprintln!("[trace written: {out} — open in chrome://tracing or Perfetto]");
-    }
-    if let Some(out) = metrics_out {
-        std::fs::write(&out, recorder.metrics_json())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
-        eprintln!("[metrics written: {out}]");
     }
     Ok(0)
 }
@@ -440,6 +476,77 @@ mod tests {
         let metrics: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
         assert!(metrics["exchange.T.attempts"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_and_metrics_survive_a_failed_run() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 3);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-flush");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+        // --checkpoint pointing at a plain file: the save after cycle 1
+        // fails, erroring the run with a cycle of events already recorded.
+        let bogus_ckpt = dir.join("not-a-dir");
+        std::fs::write(&bogus_ckpt, "occupied").unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        let result = cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--trace".into(),
+            trace_path.to_string_lossy().into_owned(),
+            "--metrics".into(),
+            metrics_path.to_string_lossy().into_owned(),
+            "--checkpoint".into(),
+            bogus_ckpt.to_string_lossy().into_owned(),
+        ]);
+        assert!(result.is_err(), "checkpointing into a file must fail the run");
+        let trace: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(
+            !trace["traceEvents"].as_array().unwrap().is_empty(),
+            "the buffered trace is flushed despite the error"
+        );
+        let metrics: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(metrics["exchange.T.attempts"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn run_streams_telemetry_and_prometheus() {
+        let mut cfg = SimulationConfig::t_remd(4, 600, 2);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let stream_path = dir.join("snap.jsonl");
+        let prom_path = dir.join("metrics.prom");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+        let code = cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--metrics-stream".into(),
+            stream_path.to_string_lossy().into_owned(),
+            "--prom".into(),
+            prom_path.to_string_lossy().into_owned(),
+            "--campaign".into(),
+            "cli-smoke".into(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&stream_path).unwrap();
+        let snaps: Vec<serde_json::Value> =
+            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(snaps.len(), 2, "one snapshot per synchronous cycle");
+        let last = snaps.last().unwrap();
+        assert_eq!(last["campaign"], "cli-smoke");
+        assert_eq!(last["done"], true);
+        assert_eq!(last["completed"], 2);
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE repex_completed_units gauge"), "{prom}");
+        assert!(prom.contains("campaign=\"cli-smoke\""), "{prom}");
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! `repex watch` — tail a `--metrics-stream` snapshot file live.
+//!
+//! `repex run --metrics-stream <path>` appends one `TelemetrySnapshot` per
+//! exchange window as a single JSON line (each line is written with one
+//! `write` call, so a tailer never sees a torn record except for a final
+//! partial line, which is simply re-read on the next poll). This subcommand
+//! consumes that stream from the outside:
+//!
+//! ```text
+//! repex watch <stream.jsonl>            follow the stream, one health line
+//!                                       per snapshot, until done
+//! repex watch <stream.jsonl> --once     report the latest snapshot and exit
+//! repex watch <stream.jsonl> --json     machine-readable output
+//! ```
+//!
+//! Because a `--resume`d campaign re-emits from its checkpointed snapshot
+//! cursor, a stream that spans a crash can contain duplicate sequence
+//! numbers; the reader keeps the last record per `seq` (the resumed run's
+//! version), exactly like `obs::merge_snapshots`.
+//!
+//! Exit codes: 0 = clean, 1 = an error-severity finding is active in the
+//! latest snapshot, 2 = usage/IO/parse error (via `Err`).
+
+use std::io::{Read, Seek, SeekFrom};
+
+/// Poll interval while following a live stream.
+const POLL_MS: u64 = 150;
+
+pub fn cmd_watch(args: &[String]) -> Result<u8, String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("watch needs a snapshot stream path (from repex run --metrics-stream)")?;
+    let once = args.iter().any(|a| a == "--once");
+    let json = args.iter().any(|a| a == "--json");
+    if once {
+        let doc = watch_doc(path)?;
+        if json {
+            println!("{}", serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?);
+        } else {
+            print_summary(&doc);
+        }
+        return Ok(exit_code(&doc));
+    }
+    follow(path, json)
+}
+
+/// Follow the stream until a `done: true` snapshot arrives, printing one
+/// line per new snapshot.
+fn follow(path: &str, json: bool) -> Result<u8, String> {
+    // Fail fast on a missing file rather than silently polling forever.
+    std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut offset = 0u64;
+    let mut latest: Option<serde_json::Value> = None;
+    loop {
+        for line in read_complete_lines(path, &mut offset)? {
+            let snap: serde_json::Value = serde_json::from_str(&line)
+                .map_err(|e| format!("{path}: malformed snapshot line: {e}"))?;
+            if json {
+                println!("{snap}");
+            } else {
+                println!("{}", health_line(&snap));
+                for f in snap["findings"].as_array().into_iter().flatten() {
+                    println!(
+                        "  {} {}: {}",
+                        f["code"].as_str().unwrap_or("?"),
+                        f["severity"].as_str().unwrap_or("?"),
+                        f["message"].as_str().unwrap_or(""),
+                    );
+                }
+            }
+            latest = Some(snap);
+        }
+        if latest.as_ref().is_some_and(|s| s["done"].as_bool() == Some(true)) {
+            let has_error = latest.as_ref().is_some_and(|s| {
+                s["findings"]
+                    .as_array()
+                    .is_some_and(|fs| fs.iter().any(|f| f["severity"] == "error"))
+            });
+            return Ok(u8::from(has_error));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+    }
+}
+
+/// Read the stream once and build the `--once` report document.
+///
+/// `acceptance` mirrors `repex analyze`'s `exchange_health` array — same
+/// fields, and the ratio recomputed from the cumulative integer counters
+/// with the same expression — so a mid-run `watch --once --json` agrees
+/// with a post-hoc trace replay over the same event prefix.
+pub(crate) fn watch_doc(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snaps = parse_stream(path, &text)?;
+    let merged = merge_by_seq(snaps);
+    let latest = merged.last().cloned().ok_or(format!("{path} holds no snapshots yet"))?;
+    let acceptance: Vec<serde_json::Value> = latest["dims"]
+        .as_array()
+        .into_iter()
+        .flatten()
+        .map(|d| {
+            let attempts = d["attempts"].as_u64().unwrap_or(0);
+            let accepted = d["accepted"].as_u64().unwrap_or(0);
+            let ratio = if attempts == 0 { 0.0 } else { accepted as f64 / attempts as f64 };
+            serde_json::json!({
+                "dim": d["dim"],
+                "kind": d["kind"],
+                "attempts": attempts,
+                "accepted": accepted,
+                "ratio": ratio,
+            })
+        })
+        .collect();
+    Ok(serde_json::json!({
+        "stream": path,
+        "snapshots": merged.len(),
+        "latest": latest,
+        "acceptance": acceptance,
+        "active_findings": latest["findings"],
+        "done": latest["done"],
+    }))
+}
+
+fn exit_code(doc: &serde_json::Value) -> u8 {
+    let has_error = doc["active_findings"]
+        .as_array()
+        .is_some_and(|fs| fs.iter().any(|f| f["severity"] == "error"));
+    u8::from(has_error)
+}
+
+/// Parse the JSONL text. A torn *final* line (no trailing newline, not yet
+/// valid JSON) is the writer mid-append and is ignored; a malformed line
+/// anywhere else is corruption and errors.
+fn parse_stream(path: &str, text: &str) -> Result<Vec<serde_json::Value>, String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str(line) {
+            Ok(v) => out.push(v),
+            Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => {}
+            Err(e) => return Err(format!("{path}:{}: malformed snapshot line: {e}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// Keep the last record per sequence number, ordered by `seq` — the reader
+/// half of `obs::merge_snapshots`, over raw JSON values.
+fn merge_by_seq(snaps: Vec<serde_json::Value>) -> Vec<serde_json::Value> {
+    let mut by_seq = std::collections::BTreeMap::new();
+    for s in snaps {
+        let seq = s["seq"].as_u64().unwrap_or(0);
+        by_seq.insert(seq, s);
+    }
+    by_seq.into_values().collect()
+}
+
+/// New complete lines appended since `offset`. Bytes after the last newline
+/// are a torn tail: left unconsumed for the next poll.
+fn read_complete_lines(path: &str, offset: &mut u64) -> Result<Vec<String>, String> {
+    let mut f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    f.seek(SeekFrom::Start(*offset)).map_err(|e| format!("cannot seek {path}: {e}"))?;
+    let mut buf = String::new();
+    f.read_to_string(&mut buf).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let Some(end) = buf.rfind('\n') else { return Ok(Vec::new()) };
+    *offset += (end + 1) as u64;
+    Ok(buf[..=end].lines().filter(|l| !l.trim().is_empty()).map(String::from).collect())
+}
+
+/// One human line per snapshot: progress, clock, ETA, Tc percentiles,
+/// per-dimension acceptance, fault counters.
+fn health_line(s: &serde_json::Value) -> String {
+    let mut line = format!(
+        "[watch] #{} {}/{} units  t {:.1}s  eta {:.1}s  Tc p50 {:.2}s p99 {:.2}s",
+        s["seq"],
+        s["completed"],
+        s["total"],
+        s["time"].as_f64().unwrap_or(0.0),
+        s["eta_seconds"].as_f64().unwrap_or(0.0),
+        s["tc"]["p50"].as_f64().unwrap_or(0.0),
+        s["tc"]["p99"].as_f64().unwrap_or(0.0),
+    );
+    for d in s["dims"].as_array().into_iter().flatten() {
+        line.push_str(&format!(
+            "  acc[{}] {:.2}",
+            d["kind"].as_str().unwrap_or("?"),
+            d["ratio"].as_f64().unwrap_or(0.0),
+        ));
+    }
+    line.push_str(&format!("  failed {} stragglers {}", s["failed_tasks"], s["stragglers"],));
+    if s["done"].as_bool() == Some(true) {
+        line.push_str("  [done]");
+    }
+    line
+}
+
+fn print_summary(doc: &serde_json::Value) {
+    let latest = &doc["latest"];
+    println!(
+        "stream: {} ({} snapshot(s), campaign {:?})",
+        doc["stream"].as_str().unwrap_or("?"),
+        doc["snapshots"],
+        latest["campaign"].as_str().unwrap_or("?"),
+    );
+    println!("{}", health_line(latest));
+    let findings = doc["active_findings"].as_array().cloned().unwrap_or_default();
+    if findings.is_empty() {
+        println!("no live findings");
+    } else {
+        for f in &findings {
+            println!(
+                "{} {}: {}",
+                f["code"].as_str().unwrap_or("?"),
+                f["severity"].as_str().unwrap_or("?"),
+                f["message"].as_str().unwrap_or(""),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_line(seq: u64, done: bool, attempts: u64, accepted: u64) -> String {
+        serde_json::json!({
+            "seq": seq, "campaign": "watch-test", "time": seq as f64 * 10.0,
+            "completed": seq, "total": 4, "eta_seconds": 1.0, "done": done,
+            "failed_tasks": 0, "stragglers": 0,
+            "tc": {"p50": 1.0, "p99": 2.0},
+            "dims": [{"dim": 0, "kind": "T", "attempts": attempts,
+                      "accepted": accepted, "ratio": 0.5}],
+            "findings": [],
+        })
+        .to_string()
+    }
+
+    fn temp_stream(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("repex-cli-watch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn once_merges_duplicate_seqs_and_reports_the_latest() {
+        // A resume re-emits seq 2: the reader must keep the later record.
+        let body = format!(
+            "{}\n{}\n{}\n{}\n",
+            snap_line(1, false, 2, 1),
+            snap_line(2, false, 3, 1),
+            snap_line(2, false, 4, 2),
+            snap_line(3, true, 6, 3),
+        );
+        let path = temp_stream("dup.jsonl", &body);
+        let doc = watch_doc(&path.to_string_lossy()).unwrap();
+        assert_eq!(doc["snapshots"], 3, "4 lines, one duplicate seq");
+        assert_eq!(doc["latest"]["seq"], 3);
+        assert_eq!(doc["done"], true);
+        assert_eq!(doc["acceptance"][0]["attempts"], 6);
+        assert!((doc["acceptance"][0]["ratio"].as_f64().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let body = format!("{}\n{{\"seq\": 2, \"camp", snap_line(1, false, 2, 1));
+        let path = temp_stream("torn.jsonl", &body);
+        let doc = watch_doc(&path.to_string_lossy()).unwrap();
+        assert_eq!(doc["snapshots"], 1, "the torn tail is not a record yet");
+        assert_eq!(doc["latest"]["seq"], 1);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let body = format!("not json\n{}\n", snap_line(1, false, 2, 1));
+        let path = temp_stream("corrupt.jsonl", &body);
+        assert!(watch_doc(&path.to_string_lossy()).is_err());
+    }
+
+    #[test]
+    fn missing_or_empty_streams_are_clean_errors() {
+        assert!(cmd_watch(&["/no/such/stream.jsonl".into(), "--once".into()]).is_err());
+        assert!(cmd_watch(&["--once".into()]).is_err(), "flag without a path");
+        let path = temp_stream("empty.jsonl", "");
+        assert!(watch_doc(&path.to_string_lossy()).is_err(), "no snapshots yet");
+    }
+
+    #[test]
+    fn follow_mode_drains_a_finished_stream_and_exits() {
+        let body = format!("{}\n{}\n", snap_line(1, false, 2, 1), snap_line(2, true, 4, 2));
+        let path = temp_stream("follow.jsonl", &body);
+        let code = cmd_watch(&[path.to_string_lossy().into_owned()]).unwrap();
+        assert_eq!(code, 0, "done snapshot ends the tail");
+        let code = cmd_watch(&[path.to_string_lossy().into_owned(), "--json".into()]).unwrap();
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn error_findings_set_the_exit_code() {
+        let mut snap: serde_json::Value = serde_json::from_str(&snap_line(1, true, 2, 1)).unwrap();
+        snap["findings"] = serde_json::json!([
+            {"code": "W999", "severity": "error", "message": "synthetic"}
+        ]);
+        let path = temp_stream("errors.jsonl", &format!("{snap}\n"));
+        let code = cmd_watch(&[path.to_string_lossy().into_owned(), "--once".into()]).unwrap();
+        assert_eq!(code, 1, "error-severity finding exits 1");
+        let code = cmd_watch(&[path.to_string_lossy().into_owned()]).unwrap();
+        assert_eq!(code, 1, "follow mode honors the same convention");
+    }
+
+    /// The acceptance criterion from the live-telemetry work: a mid-run
+    /// `watch --once --json` must agree with a post-hoc `repex analyze`
+    /// replay over the same event prefix, to 1e-9.
+    #[test]
+    fn once_json_acceptance_matches_analyze_replay_over_the_same_prefix() {
+        let mut cfg = repex::config::SimulationConfig::t_remd(4, 600, 3);
+        cfg.surrogate_steps = 5;
+        let dir = std::env::temp_dir().join("repex-cli-watch-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let trace_path = dir.join("trace.json");
+        let stream_path = dir.join("snap.jsonl");
+        let ckpt_dir = dir.join("ckpt");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+
+        // Stop mid-campaign: the stream and the trace both cover exactly
+        // the first two cycles.
+        let code = crate::cmd_run(&[
+            cfg_path.to_string_lossy().into_owned(),
+            "--trace".into(),
+            trace_path.to_string_lossy().into_owned(),
+            "--metrics-stream".into(),
+            stream_path.to_string_lossy().into_owned(),
+            "--checkpoint".into(),
+            ckpt_dir.to_string_lossy().into_owned(),
+            "--stop-after".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+
+        let doc = watch_doc(&stream_path.to_string_lossy()).unwrap();
+        let events =
+            crate::analyze::parse_trace(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let replay = crate::analyze::analyze(&events, obs::StragglerPolicy::default());
+        let replayed = replay["exchange_health"].as_array().unwrap();
+        let live = doc["acceptance"].as_array().unwrap();
+        assert!(!replayed.is_empty(), "the prefix attempted exchanges");
+        for h in replayed {
+            let dim = h["dim"].as_u64().unwrap();
+            let l = live
+                .iter()
+                .find(|l| l["dim"].as_u64() == Some(dim))
+                .unwrap_or_else(|| panic!("live stream is missing dim {dim}"));
+            assert_eq!(l["attempts"], h["attempts"], "dim {dim} attempts");
+            assert_eq!(l["accepted"], h["accepted"], "dim {dim} accepted");
+            let drift = (l["ratio"].as_f64().unwrap() - h["ratio"].as_f64().unwrap()).abs();
+            assert!(drift < 1e-9, "dim {dim} acceptance drift {drift}");
+        }
+    }
+}

@@ -133,6 +133,12 @@ pub struct CampaignCheckpoint {
     pub cycle_reports: Vec<CycleReport>,
     pub replicas: Vec<ReplicaCheckpoint>,
     pub scheduler: SchedulerState,
+    /// Sequence number of the last telemetry snapshot emitted before this
+    /// checkpoint, so a resumed leg continues the snapshot stream with
+    /// strictly increasing seqs. Defaults to 0 when reading checkpoints
+    /// written before the live telemetry plane existed (same version).
+    #[serde(default)]
+    pub telemetry_seq: u64,
 }
 
 impl CampaignCheckpoint {
@@ -188,6 +194,7 @@ impl CampaignCheckpoint {
             cycle_reports: cycle_reports.to_vec(),
             replicas,
             scheduler,
+            telemetry_seq: ctx.telemetry_seq,
         }
     }
 
@@ -242,6 +249,7 @@ impl CampaignCheckpoint {
             cycle_reports,
             replicas,
             scheduler,
+            telemetry_seq,
         } = self;
         if version != CHECKPOINT_VERSION {
             return Err(format!(
@@ -300,6 +308,7 @@ impl CampaignCheckpoint {
         ctx.failed_tasks = failed_tasks;
         ctx.relaunched_tasks = relaunched_tasks;
         ctx.prior_cycle_reports = cycle_reports;
+        ctx.telemetry_seq = telemetry_seq;
         ctx.pilot.executor.fast_forward(clock_seconds);
         match scheduler {
             SchedulerState::Sync { cycles_done } => ctx.completed_cycles = cycles_done,
@@ -369,6 +378,7 @@ mod tests {
         ctx.replicas[3].segments_done = 7;
         ctx.acceptance[0].record(true);
         ctx.acceptance[0].record(false);
+        ctx.telemetry_seq = 9;
         ctx.record_samples(1, &[(0.25, -0.5)]);
         {
             let mut sys = ctx.replicas[2].system.lock();
@@ -394,6 +404,7 @@ mod tests {
         assert_eq!(back.acceptance[0].accepted, 1);
         assert_eq!(back.window_samples.get(&1).map(Vec::len), Some(1));
         assert_eq!(back.completed_cycles, 5);
+        assert_eq!(back.telemetry_seq, 9, "snapshot cursor survives resume");
         // Microstate round-trips bit-exactly, clock fast-forwards.
         let sys = back.replicas[2].system.lock();
         assert_eq!(sys.state.positions[0].x, 0.1 + 0.2);

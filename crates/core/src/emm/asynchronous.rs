@@ -118,6 +118,7 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
     }
     let mut failed_at_last_checkpoint = ctx.failed_tasks;
     let round_limit = ctx.cycle_limit.map(|k| exchange_rounds.saturating_add(k));
+    let total_segments = n_segments.saturating_mul(ctx.n_replicas() as u64);
 
     while let Some(done) = ctx.pilot.executor.next_completion() {
         handle_completion(ctx, &mut st, done)?;
@@ -131,6 +132,11 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
             }
             exchange_rounds += 1;
             flush_ready(ctx, &mut st, exchange_rounds)?;
+            // Each flushed round closes one telemetry window (before the
+            // checkpoint so its cursor covers the snapshot). Progress is
+            // measured in completed MD segments — async has no global
+            // cycles.
+            emit_async_live(ctx, total_segments, false)?;
             // Post-flush is the driver's consistency point: the ready set
             // is empty and every incomplete replica is either in flight
             // (with a pre-segment snapshot stashed) or retired.
@@ -160,13 +166,27 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
         while let Some(done) = ctx.pilot.executor.next_completion() {
             handle_completion(ctx, &mut st, done)?;
         }
+        emit_async_live(ctx, total_segments, false)?;
     }
 
+    // Terminal snapshot: trailing exchange completions merge acceptance
+    // after the last flushed round, so the `done` snapshot — the one the
+    // consistency proof compares against the final report — must close
+    // after the event loop has fully drained.
+    emit_async_live(ctx, total_segments, true)?;
     if ctx.checkpoint.is_some() {
         // Terminal checkpoint: resuming a finished campaign is a no-op.
         write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
     }
     Ok(AsyncOutcome { makespan: ctx.pilot.executor.now().as_secs(), exchange_rounds })
+}
+
+/// Emit one live telemetry snapshot with async progress semantics
+/// (completed = MD segments done across all replicas).
+fn emit_async_live(ctx: &mut DriverCtx, total_segments: u64, done: bool) -> Result<(), String> {
+    let completed: u64 = ctx.replicas.iter().map(|r| r.segments_done).sum();
+    super::emit_live(ctx, completed, total_segments, done)?;
+    Ok(())
 }
 
 /// Fold one completion into the loop state: account MD segments, apply

@@ -24,6 +24,8 @@ use pilot::description::{DurationSpec, UnitDescription};
 use pilot::executor::TaskWork;
 use pilot::Pilot;
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
 
 /// Samples collected for one umbrella/temperature window (for free-energy
 /// analysis).
@@ -35,6 +37,26 @@ pub struct WindowSamples {
     pub restraints: Vec<(String, f64, f64)>,
     /// (phi, psi) in radians.
     pub samples: Vec<(f64, f64)>,
+}
+
+/// What the caller asked the live telemetry plane to export
+/// (`repex run --metrics-stream / --prom / --campaign`).
+#[derive(Debug, Clone, Default)]
+pub struct LiveTelemetry {
+    /// Append-only JSONL snapshot stream (one `TelemetrySnapshot` per line).
+    pub stream: Option<PathBuf>,
+    /// Prometheus text-exposition file, rewritten atomically per snapshot.
+    pub prom: Option<PathBuf>,
+    /// Campaign label; defaults to the configuration's title.
+    pub campaign: Option<String>,
+}
+
+/// Open export sinks for the live plane (built by [`start_live`]).
+pub(crate) struct LiveSinks {
+    /// JSONL stream in append mode: each snapshot goes out as one
+    /// `write_all` of `line + '\n'`, so a tailer never reads a torn record.
+    stream: Option<std::fs::File>,
+    prom: Option<PathBuf>,
 }
 
 /// Shared state the pattern drivers operate on.
@@ -91,6 +113,15 @@ pub struct DriverCtx {
     /// store the microstate from *before* the segment so resume can
     /// resubmit the same unit.
     pub preseg_snapshots: HashMap<usize, String>,
+    /// Requested live telemetry exports (`None` = no exporters; the live
+    /// fold may still run to feed `--progress`).
+    pub live_request: Option<LiveTelemetry>,
+    /// Open exporter sinks while a run is live.
+    pub(crate) live_sinks: Option<LiveSinks>,
+    /// Sequence number of the last emitted telemetry snapshot. Survives
+    /// checkpoint/resume so a resumed leg appends strictly increasing seqs
+    /// to the same snapshot stream.
+    pub telemetry_seq: u64,
 }
 
 impl DriverCtx {
@@ -396,6 +427,118 @@ pub(crate) fn attempt_seed(base: u64, slot: usize, attempt: u32) -> u64 {
         return base;
     }
     base ^ hpc::scenario::mix64(((slot as u64) << 32) | u64::from(attempt))
+}
+
+/// Bring up the live telemetry plane for a run, when requested (exporter
+/// flags) or implied (`--progress` now renders off the snapshot bus).
+///
+/// Installs the streaming fold into the recorder — allocating a
+/// [`obs::Recorder::live_only`] sink if tracing was not otherwise enabled,
+/// so long campaigns with telemetry but no `--trace` never buffer the whole
+/// event stream — seeds the fold's baseline from the context (which, after
+/// a resume, carries the interrupted leg's cumulative statistics), and
+/// opens the export sinks.
+pub(crate) fn start_live(ctx: &mut DriverCtx) -> Result<(), String> {
+    if ctx.live_request.is_none() && ctx.cfg.progress_every == 0 {
+        return Ok(());
+    }
+    if !ctx.recorder.is_enabled() {
+        let rec = obs::Recorder::live_only();
+        ctx.pilot.executor.set_recorder(rec.clone());
+        ctx.recorder = rec;
+    }
+    let campaign = ctx
+        .live_request
+        .as_ref()
+        .and_then(|r| r.campaign.clone())
+        .unwrap_or_else(|| ctx.cfg.title.clone());
+    let n = ctx.grid.n_slots();
+    let one_d = ctx.grid.n_dims() == 1;
+    let completed = match ctx.cfg.pattern {
+        crate::config::Pattern::Synchronous => ctx.completed_cycles,
+        crate::config::Pattern::Asynchronous { .. } => {
+            ctx.replicas.iter().map(|r| r.segments_done).sum()
+        }
+    };
+    let mut slot_of = vec![0usize; n];
+    for r in &ctx.replicas {
+        slot_of[r.id] = r.slot;
+    }
+    let (rt_last_end, rt_half_trips) =
+        ctx.round_trips.as_ref().map(|rt| rt.endpoint_state()).unwrap_or_default();
+    ctx.recorder.enable_live(obs::LiveConfig {
+        campaign,
+        n_slots: n,
+        ladder_len: if one_d { ctx.grid.dims[0].len() } else { 0 },
+        dim_kinds: ctx.grid.dims.iter().map(|d| d.kind_letter()).collect(),
+        baseline: obs::LiveBaseline {
+            seq: ctx.telemetry_seq,
+            completed,
+            sim_time: ctx.pilot.executor.now().as_secs(),
+            dims: ctx.acceptance.iter().map(|a| (a.attempts, a.accepted)).collect(),
+            failed_tasks: ctx.failed_tasks,
+            relaunched_tasks: ctx.relaunched_tasks,
+            md_segments: ctx.replicas.iter().map(|r| r.segments_done).sum(),
+            slot_of,
+            rt_last_end,
+            rt_half_trips,
+        },
+    });
+    if let Some(req) = &ctx.live_request {
+        let stream =
+            match &req.stream {
+                Some(path) => {
+                    Some(std::fs::OpenOptions::new().create(true).append(true).open(path).map_err(
+                        |e| format!("metrics-stream: cannot open {}: {e}", path.display()),
+                    )?)
+                }
+                None => None,
+            };
+        ctx.live_sinks = Some(LiveSinks { stream, prom: req.prom.clone() });
+    }
+    Ok(())
+}
+
+/// Close the current telemetry window: emit one snapshot from the
+/// recorder's fold and push it through the configured exporters. Drivers
+/// call this at their consistency points (every cycle barrier for sync,
+/// every flushed exchange round for async), *before* writing a checkpoint
+/// so the checkpoint's telemetry cursor covers this snapshot. A no-op
+/// returning `Ok(None)` when the live plane is not active.
+pub(crate) fn emit_live(
+    ctx: &mut DriverCtx,
+    completed: u64,
+    total: u64,
+    done: bool,
+) -> Result<Option<obs::TelemetrySnapshot>, String> {
+    let stats = obs::EmitStats {
+        completed,
+        total,
+        time: ctx.pilot.executor.now().as_secs(),
+        failed_tasks: ctx.failed_tasks,
+        relaunched_tasks: ctx.relaunched_tasks,
+        done,
+    };
+    let Some(snap) = ctx.recorder.live_emit(&stats) else {
+        return Ok(None);
+    };
+    ctx.telemetry_seq = snap.seq;
+    if let Some(sinks) = &mut ctx.live_sinks {
+        if let Some(file) = &mut sinks.stream {
+            // One write per record: a tailer sees whole lines or nothing.
+            let line = format!("{}\n", snap.to_jsonl());
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(|e| format!("metrics-stream: write failed: {e}"))?;
+        }
+        if let Some(prom) = &sinks.prom {
+            let tmp = prom.with_extension("tmp");
+            std::fs::write(&tmp, obs::prometheus_text(&snap))
+                .and_then(|()| std::fs::rename(&tmp, prom))
+                .map_err(|e| format!("prom: cannot write {}: {e}", prom.display()))?;
+        }
+    }
+    Ok(Some(snap))
 }
 
 #[cfg(test)]

@@ -34,20 +34,23 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
     let mut reports = std::mem::take(&mut ctx.prior_cycle_reports);
     reports.reserve(end_cycle.saturating_sub(start_cycle) as usize);
     let progress_every = ctx.cfg.progress_every;
-    let mut tc_hist = obs::LogHistogram::new();
-    let mut straggler_flags = 0usize;
     let mut failed_at_last_checkpoint = ctx.failed_tasks;
     for cycle in start_cycle..end_cycle {
         let (timing, events) = run_one_cycle(ctx, cycle)?;
-        if progress_every > 0 {
-            tc_hist.record(timing.total());
-            straggler_flags +=
-                obs::timeline_stats(&events, obs::StragglerPolicy::default()).straggler_count;
-        }
         ctx.recorder.extend(events);
         ctx.record_rungs();
         reports.push(CycleReport { cycle, timing });
         ctx.completed_cycles = cycle + 1;
+        // Every cycle barrier closes one telemetry window. Emitting before
+        // the checkpoint write means the checkpoint's telemetry cursor
+        // covers this snapshot, so a resumed leg re-emits (identically,
+        // sync resume being bit-exact) rather than skips.
+        let snapshot = super::emit_live(
+            ctx,
+            ctx.completed_cycles,
+            ctx.cfg.n_cycles,
+            ctx.completed_cycles == ctx.cfg.n_cycles,
+        )?;
         if let Some(policy) = &ctx.checkpoint {
             let due = policy.due(ctx.completed_cycles)
                 || ctx.failed_tasks > failed_at_last_checkpoint
@@ -61,35 +64,17 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
                 failed_at_last_checkpoint = ctx.failed_tasks;
             }
         }
+        // The progress line renders straight off the snapshot bus — the
+        // single source of truth shared with the exporters and `repex
+        // watch` (equivalence with the old in-driver accounting is proven
+        // in tests/it_telemetry.rs).
         if progress_every > 0 && (cycle + 1) % progress_every == 0 {
-            eprintln!("{}", progress_line(ctx, cycle, &tc_hist, straggler_flags));
+            if let Some(snap) = &snapshot {
+                eprintln!("{}", obs::render_progress_line(snap));
+            }
         }
     }
     Ok(reports)
-}
-
-/// One live run-health line: cycle counter, Tc percentiles so far,
-/// cumulative per-dimension acceptance, cumulative straggler flags.
-fn progress_line(
-    ctx: &DriverCtx,
-    cycle: u64,
-    tc: &obs::LogHistogram,
-    straggler_flags: usize,
-) -> String {
-    let mut acc = String::new();
-    for (dim, stats) in ctx.acceptance.iter().enumerate() {
-        let letter = ctx.dim_kind(dim).letter();
-        acc.push_str(&format!(" acc[{letter}] {:.2}", stats.ratio()));
-    }
-    format!(
-        "[repex] cycle {}/{}  Tc p50 {:.2}s p99 {:.2}s {} stragglers {}",
-        cycle + 1,
-        ctx.cfg.n_cycles,
-        tc.p50(),
-        tc.p99(),
-        acc,
-        straggler_flags
-    )
 }
 
 /// Submit one MD attempt for `slot`, registering it in the relaunch

@@ -110,6 +110,9 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
         checkpoint: None,
         cycle_limit: None,
         preseg_snapshots: Default::default(),
+        live_request: None,
+        live_sinks: None,
+        telemetry_seq: 0,
     })
 }
 
@@ -168,6 +171,17 @@ impl RemdSimulation {
         &self.ctx.cfg
     }
 
+    /// Enable the live telemetry plane (`repex run --metrics-stream /
+    /// --prom / --campaign`): the run folds its event stream into rolling
+    /// windows and emits one [`obs::TelemetrySnapshot`] per consistency
+    /// point through the configured exporters. Works with or without
+    /// [`Self::with_recorder`]; without it a bounded live-only recorder is
+    /// installed, so no full event buffer accumulates.
+    pub fn with_live_telemetry(mut self, opts: crate::emm::LiveTelemetry) -> Self {
+        self.ctx.live_request = Some(opts);
+        self
+    }
+
     /// Attach a structured-event recorder (must be called before `run`).
     ///
     /// The recorder is shared: the driver emits typed [`obs::Event`]s into it
@@ -181,6 +195,7 @@ impl RemdSimulation {
 
     /// Execute the configured pattern and assemble the report.
     pub fn run(mut self) -> Result<SimulationReport, String> {
+        crate::emm::start_live(&mut self.ctx)?;
         let pattern_name;
         let cycles: Vec<CycleReport>;
         match self.ctx.cfg.pattern {

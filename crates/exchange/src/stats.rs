@@ -93,6 +93,13 @@ impl RoundTripTracker {
         self.half_trips.iter().map(|h| h / 2).sum()
     }
 
+    /// The tracker's endpoint state — `(last_end, half_trips)` per replica —
+    /// so a resumed live-telemetry fold can continue counting round trips
+    /// exactly where this tracker stands (2 half-trips = 1 round trip).
+    pub fn endpoint_state(&self) -> (Vec<i8>, Vec<u64>) {
+        (self.last_end.clone(), self.half_trips.clone())
+    }
+
     /// Fraction of rungs a replica has visited (1.0 = full traversal).
     /// Always finite: `new` rejects ladders shorter than 2, so the
     /// denominator is never zero, and zero visits yield 0.0.

@@ -131,8 +131,7 @@ fn longest_chain(mut nodes: Vec<PathNode>) -> CriticalPath {
             slot.1 += node.duration();
         }
     }
-    let dominant =
-        by_category.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map_or("md", |(c, _)| *c);
+    let dominant = by_category.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map_or("md", |(c, _)| *c);
     CriticalPath {
         total,
         span,

@@ -21,6 +21,7 @@ pub mod critical_path;
 pub mod event;
 pub mod health;
 pub mod json;
+pub mod live;
 pub mod recorder;
 pub mod stats;
 pub mod timeline_stats;
@@ -32,6 +33,11 @@ pub use chrome::chrome_trace_json;
 pub use critical_path::{critical_path, cycle_critical_paths, CriticalPath, CycleCriticalPath};
 pub use event::{Event, OverheadScope};
 pub use health::{exchange_health, implied_slot_count, replay_slot_walk, DimExchangeHealth};
+pub use live::{
+    evaluate_rules, merge_snapshots, prometheus_text, render_progress_line, sanitize_metric_name,
+    DimSnapshot, EmitStats, Finding, HistSummary, LiveBaseline, LiveConfig, LiveState,
+    TelemetrySnapshot,
+};
 pub use recorder::Recorder;
 pub use stats::LogHistogram;
 pub use timeline_stats::{timeline_stats, StragglerPolicy, TimelineStats};

@@ -1,0 +1,1114 @@
+//! The live telemetry plane: a bounded snapshot bus layered on the
+//! [`Recorder`](crate::Recorder).
+//!
+//! Post-hoc analysis (`repex analyze`) re-reads a finished trace; a
+//! multi-day campaign needs the same health signals *while it runs*. This
+//! module folds the recorder's event stream incrementally into a
+//! [`LiveState`] — cumulative and windowed counters, windowed
+//! [`LogHistogram`] percentiles, per-dimension acceptance, a round-trip
+//! counter replayed from exchange outcomes — and periodically emits a
+//! campaign-labeled [`TelemetrySnapshot`]. Snapshots serialize to one JSONL
+//! line each (a tailer — `repex watch` — never sees a torn record because
+//! the sink appends each line with a single write) and to Prometheus text
+//! exposition, and an online rule engine evaluates SLO-style thresholds on
+//! every snapshot, emitting W2xx findings that mirror the post-hoc rule
+//! catalog (W201 ↔ A101, W202 ↔ A104, W203 ↔ L401).
+//!
+//! Consistency contract: the fold uses the *same* accumulation semantics as
+//! the post-hoc aggregators — per-cycle Tc via the
+//! [`CycleBreakdown`](crate::CycleBreakdown) match arms, acceptance via
+//! `ExchangeOutcome` counting exactly as [`crate::exchange_health`], the
+//! slot walk and round-trip endpoints exactly as
+//! [`crate::replay_slot_walk`] feeds the drivers' tracker — so the merged
+//! snapshot stream reproduces the end-of-run report (asserted to 1e-9, and
+//! exactly for integer counters, in `tests/it_telemetry.rs`).
+//!
+//! Window semantics: `window_*` fields cover events folded since the
+//! previous emitted snapshot; cumulative twins cover the whole campaign
+//! (seeded from a [`LiveBaseline`] on `--resume`, so windows telescope:
+//! summing every deduplicated snapshot's window equals the last snapshot's
+//! cumulative value). `seq` increments once per emission and survives
+//! resume through the checkpoint's telemetry cursor; a tailer merging a
+//! stream that spans a kill keeps the *last* record per `seq`.
+
+use crate::event::Event;
+use crate::stats::LogHistogram;
+use crate::timeline_stats::{timeline_stats, StragglerPolicy};
+use crate::CycleBreakdown;
+use std::collections::BTreeMap;
+
+/// How the live fold is configured when the plane is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct LiveConfig {
+    /// Campaign label baked into every snapshot and Prometheus sample — the
+    /// multi-tenant namespacing seed.
+    pub campaign: String,
+    /// Number of ladder slots (0 disables the slot walk / round trips).
+    pub n_slots: usize,
+    /// Ladder length of the single dimension; round trips are counted only
+    /// when `>= 2` and the layout is 1-D (`n_slots == ladder_len`).
+    pub ladder_len: usize,
+    /// Dimension kind letters in dimension order (so snapshots carry every
+    /// configured dimension even before its first exchange outcome).
+    pub dim_kinds: Vec<char>,
+    /// Prior-leg state for a resumed campaign.
+    pub baseline: LiveBaseline,
+}
+
+/// Cumulative state restored from a checkpoint so a resumed leg's
+/// cumulative fields continue where the interrupted leg stopped.
+#[derive(Debug, Clone, Default)]
+pub struct LiveBaseline {
+    /// Snapshot cursor: the last `seq` emitted before the interruption.
+    pub seq: u64,
+    /// Work units completed at resume (cycles for sync, ok segments for
+    /// async) — the ETA rate estimator's origin.
+    pub completed: u64,
+    /// Virtual clock at resume.
+    pub sim_time: f64,
+    /// Per-dimension (attempts, accepted), aligned with `dim_kinds`.
+    pub dims: Vec<(u64, u64)>,
+    pub failed_tasks: u64,
+    pub relaunched_tasks: u64,
+    /// Successful MD segments completed before the resume.
+    pub md_segments: u64,
+    /// replica id -> slot at resume (empty = identity).
+    pub slot_of: Vec<usize>,
+    /// Round-trip endpoint state per replica (-1 none, 0 bottom, 1 top).
+    pub rt_last_end: Vec<i8>,
+    /// Completed half-trips per replica (2 half-trips = 1 round trip).
+    pub rt_half_trips: Vec<u64>,
+}
+
+/// Driver-supplied facts at emission time (the counters the drivers own
+/// directly rather than deriving from events — e.g. failed *exchange* units
+/// leave no event, so `failed_tasks` cannot be replayed from the stream).
+#[derive(Debug, Clone, Copy)]
+pub struct EmitStats {
+    /// Work units completed so far (cycles for sync, ok segments for async).
+    pub completed: u64,
+    /// Total work units in the campaign (denominator of the ETA).
+    pub total: u64,
+    /// Virtual clock seconds at emission.
+    pub time: f64,
+    pub failed_tasks: u64,
+    pub relaunched_tasks: u64,
+    /// Final snapshot of the campaign (tailers stop here).
+    pub done: bool,
+}
+
+/// Summary of a [`LogHistogram`] at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl HistSummary {
+    pub fn of(h: &LogHistogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+        }
+    }
+
+    fn json(&self) -> String {
+        use crate::json::num_exact as n;
+        format!(
+            "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count,
+            n(self.sum),
+            n(self.mean),
+            n(self.min),
+            n(self.max),
+            n(self.p50),
+            n(self.p90),
+            n(self.p99)
+        )
+    }
+}
+
+/// Per-dimension exchange acceptance, cumulative and windowed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DimSnapshot {
+    pub dim: usize,
+    pub kind: char,
+    pub attempts: u64,
+    pub accepted: u64,
+    pub window_attempts: u64,
+    pub window_accepted: u64,
+}
+
+impl DimSnapshot {
+    /// Cumulative acceptance ratio (0 when no attempts — never NaN).
+    pub fn ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// One W2xx finding from the online rule engine. Uses the shared
+/// diagnostics vocabulary (code / severity / message); the CLI converts it
+/// into a `repex::Diagnostic` for rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub code: &'static str,
+    pub severity: &'static str,
+    pub message: String,
+}
+
+/// One emission of the snapshot bus: everything a tailer needs to render a
+/// health line, plus the cumulative truth the consistency proof folds over.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotonic emission counter; survives resume (checkpoint cursor).
+    pub seq: u64,
+    pub campaign: String,
+    /// Virtual clock seconds at emission.
+    pub time: f64,
+    /// Work units completed / total (cycles for sync, segments for async).
+    pub completed: u64,
+    pub total: u64,
+    /// Seconds to the projected makespan (0 when the rate is unknown).
+    pub eta_seconds: f64,
+    /// Final snapshot of the campaign.
+    pub done: bool,
+    /// Pilot-level unit counters at emission time.
+    pub units_submitted: u64,
+    pub units_completed: u64,
+    pub failed_tasks: u64,
+    pub window_failed: u64,
+    pub relaunched_tasks: u64,
+    pub window_relaunched: u64,
+    /// Successful MD segments.
+    pub md_segments: u64,
+    pub window_md_segments: u64,
+    pub round_trips: u64,
+    pub window_round_trips: u64,
+    /// Straggler flags this leg (per-window timeline stats, accumulated).
+    pub stragglers: u64,
+    pub window_stragglers: u64,
+    pub dims: Vec<DimSnapshot>,
+    /// Per-cycle Tc histogram over this leg (sync only; empty for async).
+    pub tc: HistSummary,
+    pub window_tc: HistSummary,
+    /// MD segment durations in this window (ok and failed attempts).
+    pub window_seg: HistSummary,
+    pub findings: Vec<Finding>,
+}
+
+impl TelemetrySnapshot {
+    /// One JSONL record (no trailing newline). Numbers use the exact
+    /// round-trip encoding so a parsed stream folds to the same floats.
+    pub fn to_jsonl(&self) -> String {
+        use crate::json::{escape, num_exact as n};
+        let mut out = String::with_capacity(640);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"campaign\":\"{}\",\"time\":{},\"completed\":{},\"total\":{},\
+             \"eta_seconds\":{},\"done\":{},\"units_submitted\":{},\"units_completed\":{},\
+             \"failed_tasks\":{},\"window_failed\":{},\"relaunched_tasks\":{},\
+             \"window_relaunched\":{},\"md_segments\":{},\"window_md_segments\":{},\
+             \"round_trips\":{},\"window_round_trips\":{},\"stragglers\":{},\
+             \"window_stragglers\":{}",
+            self.seq,
+            escape(&self.campaign),
+            n(self.time),
+            self.completed,
+            self.total,
+            n(self.eta_seconds),
+            self.done,
+            self.units_submitted,
+            self.units_completed,
+            self.failed_tasks,
+            self.window_failed,
+            self.relaunched_tasks,
+            self.window_relaunched,
+            self.md_segments,
+            self.window_md_segments,
+            self.round_trips,
+            self.window_round_trips,
+            self.stragglers,
+            self.window_stragglers,
+        ));
+        out.push_str(",\"dims\":[");
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"dim\":{},\"kind\":\"{}\",\"attempts\":{},\"accepted\":{},\
+                 \"window_attempts\":{},\"window_accepted\":{},\"ratio\":{}}}",
+                d.dim,
+                d.kind,
+                d.attempts,
+                d.accepted,
+                d.window_attempts,
+                d.window_accepted,
+                n(d.ratio())
+            ));
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"tc\":{},\"window_tc\":{},\"window_seg\":{}",
+            self.tc.json(),
+            self.window_tc.json(),
+            self.window_seg.json()
+        ));
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                f.code,
+                f.severity,
+                escape(&f.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render the snapshot as the classic `--progress` run-health line. The
+/// format (and every number in it) matches the line the sync driver used to
+/// compute from its ad-hoc in-driver accounting — the snapshot bus is now
+/// the single source of truth, and `tests/it_telemetry.rs` proves the
+/// equivalence against an independent replay of the old algorithm.
+pub fn render_progress_line(s: &TelemetrySnapshot) -> String {
+    let mut acc = String::new();
+    for d in &s.dims {
+        acc.push_str(&format!(" acc[{}] {:.2}", d.kind, d.ratio()));
+    }
+    format!(
+        "[repex] cycle {}/{}  Tc p50 {:.2}s p99 {:.2}s {} stragglers {}",
+        s.completed, s.total, s.tc.p50, s.tc.p99, acc, s.stragglers
+    )
+}
+
+/// Sanitize a name into the Prometheus metric-name alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (invalid characters map to `_`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one snapshot as Prometheus text exposition. Every sample carries
+/// the `campaign` label; metric names are sanitized through
+/// [`sanitize_metric_name`].
+pub fn prometheus_text(s: &TelemetrySnapshot) -> String {
+    use crate::json::num_exact as n;
+    let campaign = escape_label(&s.campaign);
+    let mut out = String::with_capacity(1024);
+    let mut gauge = |name: &str, help: &str, value: String| {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name}{{campaign=\"{campaign}\"}} {value}\n"
+        ));
+    };
+    gauge("repex_snapshot_seq", "monotonic telemetry snapshot counter", s.seq.to_string());
+    gauge("repex_sim_time_seconds", "virtual clock at snapshot time", n(s.time));
+    gauge(
+        "repex_completed_units",
+        "work units completed (cycles or segments)",
+        s.completed.to_string(),
+    );
+    gauge("repex_total_units", "work units in the whole campaign", s.total.to_string());
+    gauge("repex_eta_seconds", "projected seconds to makespan", n(s.eta_seconds));
+    gauge("repex_done", "1 when the campaign has finished", u64::from(s.done).to_string());
+    gauge(
+        "repex_units_submitted_total",
+        "pilot compute units submitted",
+        s.units_submitted.to_string(),
+    );
+    gauge(
+        "repex_units_completed_total",
+        "pilot compute units completed",
+        s.units_completed.to_string(),
+    );
+    gauge("repex_failed_tasks_total", "task failures observed", s.failed_tasks.to_string());
+    gauge(
+        "repex_relaunched_tasks_total",
+        "task relaunches performed",
+        s.relaunched_tasks.to_string(),
+    );
+    gauge("repex_md_segments_total", "successful MD segments", s.md_segments.to_string());
+    gauge("repex_round_trips_total", "completed ladder round trips", s.round_trips.to_string());
+    gauge("repex_stragglers_total", "straggler flags this leg", s.stragglers.to_string());
+    gauge("repex_cycle_seconds_p50", "median per-cycle Tc this leg", n(s.tc.p50));
+    gauge("repex_cycle_seconds_p99", "p99 per-cycle Tc this leg", n(s.tc.p99));
+    for prefix in [
+        "repex_exchange_attempts_total",
+        "repex_exchange_accepted_total",
+        "repex_exchange_acceptance_ratio",
+    ] {
+        let name = sanitize_metric_name(prefix);
+        let (help, kind) = match prefix {
+            "repex_exchange_attempts_total" => ("exchange attempts per dimension", "gauge"),
+            "repex_exchange_accepted_total" => ("accepted exchanges per dimension", "gauge"),
+            _ => ("cumulative acceptance ratio per dimension", "gauge"),
+        };
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for d in &s.dims {
+            let value = match prefix {
+                "repex_exchange_attempts_total" => d.attempts.to_string(),
+                "repex_exchange_accepted_total" => d.accepted.to_string(),
+                _ => n(d.ratio()),
+            };
+            out.push_str(&format!(
+                "{name}{{campaign=\"{campaign}\",dim=\"{}\"}} {value}\n",
+                escape_label(&d.kind.to_string())
+            ));
+        }
+    }
+    if !s.findings.is_empty() {
+        let name = "repex_finding_active";
+        out.push_str(&format!(
+            "# HELP {name} 1 while the W2xx rule is firing\n# TYPE {name} gauge\n"
+        ));
+        for f in &s.findings {
+            out.push_str(&format!(
+                "{name}{{campaign=\"{campaign}\",code=\"{}\"}} 1\n",
+                escape_label(f.code)
+            ));
+        }
+    }
+    out
+}
+
+/// Deduplicate and order a parsed snapshot stream: one record per `seq`,
+/// keeping the *last* occurrence in file order (a resumed leg re-emits any
+/// seq the killed leg wrote past its checkpoint; the later record wins),
+/// sorted by `seq` ascending.
+pub fn merge_snapshots(snapshots: Vec<TelemetrySnapshot>) -> Vec<TelemetrySnapshot> {
+    let mut by_seq: BTreeMap<u64, TelemetrySnapshot> = BTreeMap::new();
+    for s in snapshots {
+        by_seq.insert(s.seq, s);
+    }
+    by_seq.into_values().collect()
+}
+
+/// Internal per-dimension fold counters.
+#[derive(Debug, Clone, Default)]
+struct DimAcc {
+    kind: char,
+    attempts: u64,
+    accepted: u64,
+    win_attempts: u64,
+    win_accepted: u64,
+}
+
+/// The fold: events stream in through [`LiveState::fold`], snapshots come
+/// out of [`LiveState::emit`]. Memory is bounded — the only event buffer is
+/// the current window (cleared at each emission), and the pending per-cycle
+/// breakdown map is drained at each emission too.
+#[derive(Debug)]
+pub struct LiveState {
+    cfg: LiveConfig,
+    seq: u64,
+    dims: Vec<DimAcc>,
+    md_ok: u64,
+    win_md_ok: u64,
+    // Slot walk mirroring `replay_slot_walk`: owner[slot] = replica,
+    // slot_of[replica] = slot.
+    owner: Vec<usize>,
+    slot_of: Vec<usize>,
+    rt_enabled: bool,
+    rt_last_end: Vec<i8>,
+    rt_half_trips: Vec<u64>,
+    rt_total_at_emit: u64,
+    // Per-cycle Tc accumulation (sync; async cycles never see an MdPhase
+    // and are discarded at emit).
+    pending: BTreeMap<u64, (CycleBreakdown, bool)>,
+    leg_tc: LogHistogram,
+    win_tc: LogHistogram,
+    win_seg: LogHistogram,
+    window_events: Vec<Event>,
+    stragglers: u64,
+    idle_windows: u32,
+    last_failed: u64,
+    last_relaunched: u64,
+    done_emitted: bool,
+}
+
+impl LiveState {
+    pub fn new(cfg: LiveConfig) -> Self {
+        let n = cfg.n_slots;
+        let rt_enabled = cfg.ladder_len >= 2 && n == cfg.ladder_len && n >= 2;
+        let slot_of: Vec<usize> = if cfg.baseline.slot_of.len() == n {
+            cfg.baseline.slot_of.clone()
+        } else {
+            (0..n).collect()
+        };
+        let mut owner = vec![0usize; n];
+        for (replica, &slot) in slot_of.iter().enumerate() {
+            if slot < n {
+                owner[slot] = replica;
+            }
+        }
+        let rt_last_end = if cfg.baseline.rt_last_end.len() == n {
+            cfg.baseline.rt_last_end.clone()
+        } else {
+            vec![-1; n]
+        };
+        let rt_half_trips = if cfg.baseline.rt_half_trips.len() == n {
+            cfg.baseline.rt_half_trips.clone()
+        } else {
+            vec![0; n]
+        };
+        let rt_total_at_emit = rt_half_trips.iter().map(|h| h / 2).sum();
+        let dims = cfg
+            .dim_kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let (attempts, accepted) = cfg.baseline.dims.get(i).copied().unwrap_or((0, 0));
+                DimAcc { kind, attempts, accepted, ..Default::default() }
+            })
+            .collect();
+        let (last_failed, last_relaunched) =
+            (cfg.baseline.failed_tasks, cfg.baseline.relaunched_tasks);
+        let (seq, md_ok) = (cfg.baseline.seq, cfg.baseline.md_segments);
+        LiveState {
+            cfg,
+            seq,
+            dims,
+            md_ok,
+            win_md_ok: 0,
+            owner,
+            slot_of,
+            rt_enabled,
+            rt_last_end,
+            rt_half_trips,
+            rt_total_at_emit,
+            pending: BTreeMap::new(),
+            leg_tc: LogHistogram::new(),
+            win_tc: LogHistogram::new(),
+            win_seg: LogHistogram::new(),
+            window_events: Vec::new(),
+            stragglers: 0,
+            idle_windows: 0,
+            last_failed,
+            last_relaunched,
+            done_emitted: false,
+        }
+    }
+
+    /// The last emitted snapshot sequence number (the checkpoint cursor).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn dim_mut(&mut self, dim: usize, kind: Option<char>) -> &mut DimAcc {
+        while self.dims.len() <= dim {
+            self.dims.push(DimAcc::default());
+        }
+        let d = &mut self.dims[dim];
+        if let Some(k) = kind {
+            d.kind = k;
+        }
+        d
+    }
+
+    /// Record one replica's current rung into the round-trip endpoint
+    /// counter — the exact semantics of `exchange::RoundTripTracker`.
+    fn rt_record(&mut self, replica: usize, rung: usize) {
+        let end = if rung == 0 {
+            0i8
+        } else if rung + 1 == self.cfg.ladder_len {
+            1
+        } else {
+            return;
+        };
+        if self.rt_last_end[replica] != -1 && self.rt_last_end[replica] != end {
+            self.rt_half_trips[replica] += 1;
+        }
+        self.rt_last_end[replica] = end;
+    }
+
+    /// Fold one event into the rolling window and cumulative state.
+    pub fn fold(&mut self, event: &Event) {
+        match *event {
+            Event::MdPhase { cycle, start, end, .. } => {
+                let entry = self
+                    .pending
+                    .entry(cycle)
+                    .or_insert_with(|| (CycleBreakdown { cycle, ..Default::default() }, false));
+                entry.0.t_md += end - start;
+                entry.1 = true;
+            }
+            Event::ExchangeWindow { kind, dim, cycle, participants, start, end } => {
+                let entry = self
+                    .pending
+                    .entry(cycle)
+                    .or_insert_with(|| (CycleBreakdown { cycle, ..Default::default() }, false));
+                entry.0.t_ex.push((kind, end - start));
+                self.dim_mut(dim, Some(kind));
+                // Snapshot the walk at every participating window — the
+                // cadence `replay_slot_walk` documents and the drivers'
+                // tracker follows (re-recording unchanged positions never
+                // adds a half-trip, so windows whose exchange failed are
+                // harmless no-ops here exactly as they are in-process).
+                if participants > 0 && self.rt_enabled {
+                    for replica in 0..self.slot_of.len() {
+                        self.rt_record(replica, self.slot_of[replica]);
+                    }
+                }
+            }
+            Event::DataStage { cycle, start, end, .. } => {
+                let entry = self
+                    .pending
+                    .entry(cycle)
+                    .or_insert_with(|| (CycleBreakdown { cycle, ..Default::default() }, false));
+                entry.0.t_data += end - start;
+            }
+            Event::Overhead { scope, cycle, start, end } => {
+                let entry = self
+                    .pending
+                    .entry(cycle)
+                    .or_insert_with(|| (CycleBreakdown { cycle, ..Default::default() }, false));
+                match scope {
+                    crate::event::OverheadScope::Repex => entry.0.t_repex_over += end - start,
+                    crate::event::OverheadScope::Rp => entry.0.t_rp_over += end - start,
+                }
+            }
+            Event::MdSegment { start, end, ok, .. } => {
+                self.win_seg.record(end - start);
+                if ok {
+                    self.md_ok += 1;
+                    self.win_md_ok += 1;
+                }
+            }
+            Event::ExchangeOutcome { dim, slot_lo, slot_hi, accepted, .. } => {
+                let d = self.dim_mut(dim, None);
+                d.attempts += 1;
+                d.win_attempts += 1;
+                if accepted {
+                    d.accepted += 1;
+                    d.win_accepted += 1;
+                    // Identical guard to `replay_slot_walk`.
+                    if slot_hi < self.owner.len() {
+                        self.owner.swap(slot_lo, slot_hi);
+                        self.slot_of[self.owner[slot_lo]] = slot_lo;
+                        self.slot_of[self.owner[slot_hi]] = slot_hi;
+                    }
+                }
+            }
+            Event::TaskRelaunch { .. } | Event::CacheRebuild { .. } => {}
+        }
+        self.window_events.push(event.clone());
+    }
+
+    /// Close the current window: finalize completed cycles, evaluate the
+    /// rule engine, and produce the snapshot.
+    pub fn emit(
+        &mut self,
+        stats: &EmitStats,
+        units_submitted: u64,
+        units_completed: u64,
+    ) -> TelemetrySnapshot {
+        self.seq += 1;
+        // Finalize every pending cycle that saw an MdPhase (sync cycles
+        // complete within one window; async rounds never emit MdPhase and
+        // their partial breakdowns are discarded — Tc has no meaning
+        // without global cycles).
+        let pending = std::mem::take(&mut self.pending);
+        for (_, (breakdown, saw_md_phase)) in pending {
+            if saw_md_phase {
+                let tc = breakdown.total();
+                self.leg_tc.record(tc);
+                self.win_tc.record(tc);
+            }
+        }
+        let win_stragglers =
+            timeline_stats(&self.window_events, StragglerPolicy::default()).straggler_count as u64;
+        self.stragglers += win_stragglers;
+        let rt_total: u64 = self.rt_half_trips.iter().map(|h| h / 2).sum();
+        let window_round_trips = rt_total - self.rt_total_at_emit;
+        let eta_seconds = {
+            let base = &self.cfg.baseline;
+            if stats.completed > base.completed && stats.total > stats.completed {
+                let rate = (stats.time - base.sim_time) / (stats.completed - base.completed) as f64;
+                rate.max(0.0) * (stats.total - stats.completed) as f64
+            } else {
+                0.0
+            }
+        };
+        if self.win_md_ok == 0 && !stats.done {
+            self.idle_windows += 1;
+        } else {
+            self.idle_windows = 0;
+        }
+        let mut snap = TelemetrySnapshot {
+            seq: self.seq,
+            campaign: self.cfg.campaign.clone(),
+            time: stats.time,
+            completed: stats.completed,
+            total: stats.total,
+            eta_seconds,
+            done: stats.done,
+            units_submitted,
+            units_completed,
+            failed_tasks: stats.failed_tasks,
+            window_failed: stats.failed_tasks.saturating_sub(self.last_failed),
+            relaunched_tasks: stats.relaunched_tasks,
+            window_relaunched: stats.relaunched_tasks.saturating_sub(self.last_relaunched),
+            md_segments: self.md_ok,
+            window_md_segments: self.win_md_ok,
+            round_trips: rt_total,
+            window_round_trips,
+            stragglers: self.stragglers,
+            window_stragglers: win_stragglers,
+            dims: self
+                .dims
+                .iter()
+                .enumerate()
+                .map(|(dim, d)| DimSnapshot {
+                    dim,
+                    kind: if d.kind == '\0' { '?' } else { d.kind },
+                    attempts: d.attempts,
+                    accepted: d.accepted,
+                    window_attempts: d.win_attempts,
+                    window_accepted: d.win_accepted,
+                })
+                .collect(),
+            tc: HistSummary::of(&self.leg_tc),
+            window_tc: HistSummary::of(&self.win_tc),
+            window_seg: HistSummary::of(&self.win_seg),
+            findings: Vec::new(),
+        };
+        snap.findings = evaluate_rules(&snap, self.idle_windows);
+        // Reset the window.
+        self.win_md_ok = 0;
+        self.win_tc = LogHistogram::new();
+        self.win_seg = LogHistogram::new();
+        self.window_events.clear();
+        self.rt_total_at_emit = rt_total;
+        self.last_failed = stats.failed_tasks;
+        self.last_relaunched = stats.relaunched_tasks;
+        for d in &mut self.dims {
+            d.win_attempts = 0;
+            d.win_accepted = 0;
+        }
+        self.done_emitted |= stats.done;
+        snap
+    }
+}
+
+/// Minimum cumulative attempts before W201 (starved ladder) can fire.
+const W201_MIN_ATTEMPTS: u64 = 12;
+/// Window failure count that constitutes a live failure burst (W202).
+const W202_BURST: u64 = 3;
+/// Predicted-acceptance band (W203) — the same thresholds the plan linter's
+/// L401 uses (`lint::LintOptions::default()`).
+const W203_MIN_RATIO: f64 = 0.05;
+const W203_MAX_RATIO: f64 = 0.99;
+/// Minimum attempts before the W203 band is judged.
+const W203_MIN_ATTEMPTS: u64 = 20;
+/// Consecutive windows with no completed segments before W205 (stall).
+const W205_IDLE_WINDOWS: u32 = 3;
+
+/// The online rule engine: SLO thresholds evaluated per snapshot.
+///
+/// | code | fires when | post-hoc twin |
+/// |------|-----------|---------------|
+/// | W201 | a dimension has ≥ 12 attempts and 0 acceptances | A101 |
+/// | W202 | ≥ 3 task failures inside one window | A104 |
+/// | W203 | cumulative acceptance outside [0.05, 0.99] after ≥ 20 attempts | L401 |
+/// | W204 | straggler flags inside the window | A102/timeline |
+/// | W205 | 3 consecutive windows without a completed segment | — |
+pub fn evaluate_rules(s: &TelemetrySnapshot, idle_windows: u32) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for d in &s.dims {
+        if d.attempts >= W201_MIN_ATTEMPTS && d.accepted == 0 {
+            findings.push(Finding {
+                code: "W201",
+                severity: "warning",
+                message: format!(
+                    "{}-exchange ladder is starved: 0/{} attempts accepted so far",
+                    d.kind, d.attempts
+                ),
+            });
+        } else if d.attempts >= W203_MIN_ATTEMPTS {
+            let r = d.ratio();
+            if r < W203_MIN_RATIO || r > W203_MAX_RATIO {
+                findings.push(Finding {
+                    code: "W203",
+                    severity: "warning",
+                    message: format!(
+                        "{}-exchange acceptance {:.3} is outside the predicted band [{}, {}]",
+                        d.kind, r, W203_MIN_RATIO, W203_MAX_RATIO
+                    ),
+                });
+            }
+        }
+    }
+    if s.window_failed >= W202_BURST {
+        findings.push(Finding {
+            code: "W202",
+            severity: "warning",
+            message: format!(
+                "failure burst: {} task failures in window {} ({} total)",
+                s.window_failed, s.seq, s.failed_tasks
+            ),
+        });
+    }
+    if s.window_stragglers > 0 {
+        findings.push(Finding {
+            code: "W204",
+            severity: "warning",
+            message: format!(
+                "{} straggler task(s) flagged in window {}",
+                s.window_stragglers, s.seq
+            ),
+        });
+    }
+    if idle_windows >= W205_IDLE_WINDOWS {
+        findings.push(Finding {
+            code: "W205",
+            severity: "warning",
+            message: format!(
+                "campaign stalled: no completed MD segments for {idle_windows} consecutive windows"
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(cycle: u64, replica: usize, start: f64, end: f64, ok: bool) -> Event {
+        Event::MdSegment {
+            replica,
+            slot: replica,
+            cycle,
+            dim: 0,
+            attempt: 0,
+            cores: 1,
+            start,
+            end,
+            ok,
+        }
+    }
+
+    fn outcome(lo: usize, hi: usize, accepted: bool) -> Event {
+        Event::ExchangeOutcome { dim: 0, cycle: 0, slot_lo: lo, slot_hi: hi, accepted, at: 1.0 }
+    }
+
+    fn window(cycle: u64, participants: usize, start: f64, end: f64) -> Event {
+        Event::ExchangeWindow { kind: 'T', dim: 0, cycle, participants, start, end }
+    }
+
+    fn stats(completed: u64, total: u64, time: f64) -> EmitStats {
+        EmitStats { completed, total, time, failed_tasks: 0, relaunched_tasks: 0, done: false }
+    }
+
+    fn state(n: usize) -> LiveState {
+        LiveState::new(LiveConfig {
+            campaign: "test".into(),
+            n_slots: n,
+            ladder_len: n,
+            dim_kinds: vec!['T'],
+            baseline: LiveBaseline::default(),
+        })
+    }
+
+    #[test]
+    fn fold_counts_acceptance_like_exchange_health() {
+        let mut st = state(4);
+        let events = vec![
+            seg(0, 0, 0.0, 1.0, true),
+            seg(0, 1, 0.0, 1.1, true),
+            outcome(0, 1, true),
+            outcome(2, 3, false),
+            window(0, 4, 1.2, 1.4),
+        ];
+        for e in &events {
+            st.fold(e);
+        }
+        let snap = st.emit(&stats(1, 4, 1.4), 0, 0);
+        assert_eq!(snap.dims.len(), 1);
+        assert_eq!(snap.dims[0].attempts, 2);
+        assert_eq!(snap.dims[0].accepted, 1);
+        assert_eq!(snap.dims[0].window_attempts, 2);
+        let health = crate::exchange_health(&events);
+        assert_eq!(health[0].attempts, snap.dims[0].attempts);
+        assert_eq!(health[0].accepted, snap.dims[0].accepted);
+        assert_eq!(snap.md_segments, 2);
+        assert_eq!(snap.seq, 1);
+    }
+
+    #[test]
+    fn windows_reset_and_cumulatives_persist() {
+        let mut st = state(4);
+        st.fold(&outcome(0, 1, true));
+        st.fold(&window(0, 4, 0.0, 0.1));
+        let s1 = st.emit(&stats(1, 4, 1.0), 0, 0);
+        assert_eq!(s1.dims[0].window_attempts, 1);
+        st.fold(&outcome(1, 2, false));
+        st.fold(&window(1, 4, 1.0, 1.1));
+        let s2 = st.emit(&stats(2, 4, 2.0), 0, 0);
+        assert_eq!(s2.dims[0].window_attempts, 1);
+        assert_eq!(s2.dims[0].attempts, 2, "cumulative keeps counting");
+        assert_eq!(s2.seq, 2);
+        // Windows telescope: sum of window attempts == final cumulative.
+        assert_eq!(s1.dims[0].window_attempts + s2.dims[0].window_attempts, s2.dims[0].attempts);
+    }
+
+    #[test]
+    fn round_trips_match_replay_slot_walk_semantics() {
+        // 2-slot ladder: one accepted swap moves both replicas across the
+        // whole ladder; swapping back and forth yields half-trips exactly as
+        // the in-process tracker counts them.
+        let mut st = state(2);
+        for i in 0..4u64 {
+            st.fold(&outcome(0, 1, true));
+            st.fold(&window(i, 2, i as f64, i as f64 + 0.1));
+        }
+        let snap = st.emit(&stats(4, 4, 4.0), 0, 0);
+        // Walk: each swap alternates both replicas between rungs 0 and 1.
+        // First window fixes last_end; three subsequent alternations = 3
+        // half-trips each = 1 round trip each.
+        assert_eq!(snap.round_trips, 2, "both replicas complete one round trip");
+    }
+
+    #[test]
+    fn baseline_seeds_cumulative_state() {
+        let mut st = LiveState::new(LiveConfig {
+            campaign: "resumed".into(),
+            n_slots: 2,
+            ladder_len: 2,
+            dim_kinds: vec!['T'],
+            baseline: LiveBaseline {
+                seq: 7,
+                completed: 3,
+                sim_time: 30.0,
+                dims: vec![(10, 4)],
+                failed_tasks: 2,
+                relaunched_tasks: 1,
+                md_segments: 6,
+                slot_of: vec![1, 0],
+                rt_last_end: vec![1, 0],
+                rt_half_trips: vec![3, 2],
+                ..Default::default()
+            },
+        });
+        st.fold(&outcome(0, 1, true));
+        st.fold(&window(3, 2, 30.0, 30.1));
+        let snap = st.emit(
+            &EmitStats {
+                completed: 4,
+                total: 8,
+                time: 40.0,
+                failed_tasks: 2,
+                relaunched_tasks: 1,
+                done: false,
+            },
+            0,
+            0,
+        );
+        assert_eq!(snap.seq, 8, "cursor continues after the baseline");
+        assert_eq!(snap.dims[0].attempts, 11);
+        assert_eq!(snap.dims[0].accepted, 5);
+        assert_eq!(snap.dims[0].window_attempts, 1, "window covers only the new leg");
+        assert_eq!(snap.window_failed, 0, "baseline failures are not re-windowed");
+        assert_eq!(snap.md_segments, 6);
+        // ETA: 1 unit took 10 s, 4 remain.
+        assert!((snap.eta_seconds - 40.0).abs() < 1e-9, "{}", snap.eta_seconds);
+        // rt baseline: replica0 had 3 half-trips ending top, replica1 had 2
+        // ending bottom; the swap moves r0 to bottom (4 half) and r1 to top
+        // (3 half) => 2 + 1 = 3 round trips.
+        assert_eq!(snap.round_trips, 3);
+    }
+
+    #[test]
+    fn rule_engine_fires_its_catalog() {
+        let mut s = TelemetrySnapshot {
+            dims: vec![DimSnapshot {
+                dim: 0,
+                kind: 'T',
+                attempts: 12,
+                accepted: 0,
+                ..Default::default()
+            }],
+            window_failed: 3,
+            window_stragglers: 1,
+            ..Default::default()
+        };
+        let codes: Vec<_> = evaluate_rules(&s, 3).iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec!["W201", "W202", "W204", "W205"]);
+        // Band rule replaces starvation once acceptances exist.
+        s.dims[0].accepted = 12;
+        s.dims[0].attempts = 12;
+        assert!(evaluate_rules(&s, 0).iter().all(|f| f.code != "W203"), "needs 20 attempts");
+        s.dims[0].attempts = 20;
+        s.dims[0].accepted = 20;
+        let codes: Vec<_> = evaluate_rules(&s, 0).iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"W203"), "ratio 1.0 is outside the band: {codes:?}");
+        s.dims[0].accepted = 10;
+        assert!(evaluate_rules(&s, 0).iter().all(|f| f.code != "W203"), "0.5 is in band");
+        assert!(evaluate_rules(&s, 0).iter().all(|f| f.severity == "warning"));
+    }
+
+    #[test]
+    fn jsonl_line_is_single_line_and_balanced() {
+        let mut st = state(4);
+        st.fold(&seg(0, 0, 0.0, 1.5, true));
+        st.fold(&outcome(0, 1, true));
+        st.fold(&window(0, 4, 1.5, 1.6));
+        let mut snap = st.emit(&stats(1, 4, 1.6), 5, 4);
+        snap.campaign = "storm \"A\"\nrun".into();
+        snap.findings.push(Finding { code: "W202", severity: "warning", message: "x".into() });
+        let line = snap.to_jsonl();
+        assert!(!line.contains('\n'), "one record per line: {line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains("\"campaign\":\"storm \\\"A\\\"\\nrun\""), "{line}");
+        assert!(line.contains("\"units_submitted\":5"));
+        assert!(line.contains("\"findings\":[{\"code\":\"W202\""));
+    }
+
+    #[test]
+    fn prometheus_names_and_labels_are_well_formed() {
+        assert_eq!(sanitize_metric_name("repex.cycle-p50"), "repex_cycle_p50");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        let mut st = state(4);
+        st.fold(&outcome(0, 1, true));
+        st.fold(&window(0, 4, 0.0, 0.1));
+        let mut snap = st.emit(&stats(1, 4, 1.0), 0, 0);
+        snap.campaign = "multi \"tenant\"".into();
+        snap.findings.push(Finding { code: "W202", severity: "warning", message: "x".into() });
+        let text = prometheus_text(&snap);
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars().enumerate().all(|(i, c)| c.is_ascii_alphabetic()
+                    || c == '_'
+                    || c == ':'
+                    || (i > 0 && c.is_ascii_digit())),
+                "bad metric name {name:?}"
+            );
+            assert!(line.contains("campaign=\"multi \\\"tenant\\\"\""), "{line}");
+        }
+        assert!(text.contains(
+            "repex_exchange_attempts_total{campaign=\"multi \\\"tenant\\\"\",dim=\"T\"} 1"
+        ));
+        assert!(text.contains("repex_finding_active"));
+    }
+
+    #[test]
+    fn merge_keeps_last_record_per_seq() {
+        let snap =
+            |seq: u64, completed: u64| TelemetrySnapshot { seq, completed, ..Default::default() };
+        let merged = merge_snapshots(vec![snap(1, 1), snap(2, 99), snap(3, 3), snap(2, 2)]);
+        let seqs: Vec<u64> = merged.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(merged[1].completed, 2, "later occurrence wins");
+    }
+
+    #[test]
+    fn progress_line_matches_the_legacy_format() {
+        let snap = TelemetrySnapshot {
+            completed: 3,
+            total: 10,
+            stragglers: 2,
+            dims: vec![DimSnapshot {
+                dim: 0,
+                kind: 'T',
+                attempts: 8,
+                accepted: 2,
+                ..Default::default()
+            }],
+            tc: HistSummary { p50: 16.0, p99: 17.5, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(
+            render_progress_line(&snap),
+            "[repex] cycle 3/10  Tc p50 16.00s p99 17.50s  acc[T] 0.25 stragglers 2"
+        );
+    }
+
+    #[test]
+    fn pending_cycles_without_md_phase_are_discarded() {
+        // Async-style stream: windows keyed by round, no MdPhase — the Tc
+        // histogram must stay empty (Tc is undefined without global cycles).
+        let mut st = state(4);
+        st.fold(&window(0, 3, 0.0, 0.1));
+        st.fold(&window(1, 2, 1.0, 1.1));
+        let snap = st.emit(&stats(2, 8, 1.1), 0, 0);
+        assert_eq!(snap.tc.count, 0);
+        assert_eq!(snap.window_tc.count, 0);
+    }
+
+    #[test]
+    fn tc_fold_matches_cycle_breakdowns() {
+        let mut st = state(2);
+        let events = vec![
+            Event::Overhead {
+                scope: crate::event::OverheadScope::Repex,
+                cycle: 0,
+                start: 0.0,
+                end: 0.3,
+            },
+            Event::Overhead {
+                scope: crate::event::OverheadScope::Rp,
+                cycle: 0,
+                start: 0.3,
+                end: 0.5,
+            },
+            seg(0, 0, 0.5, 2.0, true),
+            Event::MdPhase { cycle: 0, dim: 0, start: 0.5, end: 2.1 },
+            Event::DataStage { kind: 'T', dim: 0, cycle: 0, start: 2.1, end: 2.4 },
+            window(0, 2, 2.4, 2.9),
+        ];
+        for e in &events {
+            st.fold(e);
+        }
+        let snap = st.emit(&stats(1, 1, 2.9), 0, 0);
+        let expect = crate::cycle_breakdowns(&events)[0].total();
+        assert_eq!(snap.tc.count, 1);
+        assert_eq!(snap.tc.sum, expect, "same accumulation order, identical float");
+    }
+}

@@ -1,6 +1,7 @@
 //! The shared event sink and metrics registry.
 
 use crate::event::Event;
+use crate::live::{EmitStats, LiveConfig, LiveState, TelemetrySnapshot};
 use crate::{aggregate, chrome};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -13,11 +14,27 @@ use loom::sync::{Arc, Mutex, MutexGuard};
 #[cfg(not(loom))]
 use std::sync::{Arc, Mutex, MutexGuard};
 
-#[derive(Default)]
 struct Inner {
+    // When false the recorder only feeds the live fold — the unbounded
+    // event buffer stays empty (long campaigns with telemetry but no
+    // `--trace` must not accumulate the whole run in memory).
+    buffer_events: bool,
     events: Mutex<Vec<Event>>,
     counters: Mutex<BTreeMap<String, u64>>,
     gauges_f64: Mutex<BTreeMap<String, f64>>,
+    live: Mutex<Option<LiveState>>,
+}
+
+impl Inner {
+    fn new(buffer_events: bool) -> Self {
+        Inner {
+            buffer_events,
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges_f64: Mutex::new(BTreeMap::new()),
+            live: Mutex::new(None),
+        }
+    }
 }
 
 /// A cloneable handle to one recording session.
@@ -43,7 +60,15 @@ impl Recorder {
     /// A live recorder; clone it into every component that should feed the
     /// same event stream.
     pub fn enabled() -> Self {
-        Recorder { inner: Some(Arc::new(Inner::default())) }
+        Recorder { inner: Some(Arc::new(Inner::new(true))) }
+    }
+
+    /// A recorder that feeds only the live telemetry fold: events are
+    /// consumed by the streaming fold and then dropped, so memory stays
+    /// bounded over arbitrarily long campaigns. Counters and gauges behave
+    /// as in [`Recorder::enabled`].
+    pub fn live_only() -> Self {
+        Recorder { inner: Some(Arc::new(Inner::new(false))) }
     }
 
     /// Whether events are being captured. Use to skip building events whose
@@ -52,17 +77,75 @@ impl Recorder {
         self.inner.is_some()
     }
 
+    /// Install the live telemetry fold. Every subsequently recorded event is
+    /// folded into the rolling window; [`Recorder::live_emit`] closes a
+    /// window and returns the snapshot. Replaces any previous fold.
+    pub fn enable_live(&self, cfg: LiveConfig) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.live) = Some(LiveState::new(cfg));
+        }
+    }
+
+    /// Whether a live fold is installed.
+    pub fn has_live(&self) -> bool {
+        match &self.inner {
+            Some(inner) => lock(&inner.live).is_some(),
+            None => false,
+        }
+    }
+
+    /// Close the current telemetry window and return its snapshot. The
+    /// pilot's unit counters are read from this recorder's own counter map
+    /// (executors count `pilot.units_submitted` / `pilot.units_completed`
+    /// into the same sink). Returns `None` when no fold is installed.
+    pub fn live_emit(&self, stats: &EmitStats) -> Option<TelemetrySnapshot> {
+        let inner = self.inner.as_ref()?;
+        let (submitted, completed) = {
+            let counters = lock(&inner.counters);
+            (
+                counters.get("pilot.units_submitted").copied().unwrap_or(0),
+                counters.get("pilot.units_completed").copied().unwrap_or(0),
+            )
+        };
+        lock(&inner.live).as_mut().map(|st| st.emit(stats, submitted, completed))
+    }
+
+    /// The last emitted snapshot sequence number (0 before the first emit;
+    /// resumes from the checkpoint cursor). `None` when no fold is active.
+    pub fn live_seq(&self) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        lock(&inner.live).as_ref().map(|st| st.seq())
+    }
+
     /// Append one event.
     pub fn record(&self, event: Event) {
         if let Some(inner) = &self.inner {
-            lock(&inner.events).push(event);
+            if let Some(st) = lock(&inner.live).as_mut() {
+                st.fold(&event);
+            }
+            if inner.buffer_events {
+                lock(&inner.events).push(event);
+            }
         }
     }
 
     /// Append a batch of events (drivers collect per-cycle, then flush).
     pub fn extend<I: IntoIterator<Item = Event>>(&self, events: I) {
         if let Some(inner) = &self.inner {
-            lock(&inner.events).extend(events);
+            let mut live = lock(&inner.live);
+            if inner.buffer_events {
+                let mut buf = lock(&inner.events);
+                for event in events {
+                    if let Some(st) = live.as_mut() {
+                        st.fold(&event);
+                    }
+                    buf.push(event);
+                }
+            } else if let Some(st) = live.as_mut() {
+                for event in events {
+                    st.fold(&event);
+                }
+            }
         }
     }
 
@@ -249,6 +332,45 @@ mod tests {
         let b = json.find("exchange.attempts").unwrap();
         let c = json.find("exchange.ratio.T").unwrap();
         assert!(a < b && b < c, "{json}");
+    }
+
+    #[test]
+    fn live_only_folds_without_buffering() {
+        let rec = Recorder::live_only();
+        assert!(!rec.has_live());
+        rec.enable_live(crate::live::LiveConfig {
+            campaign: "c".into(),
+            dim_kinds: vec!['T'],
+            ..Default::default()
+        });
+        assert!(rec.has_live());
+        rec.count("pilot.units_submitted", 4);
+        rec.count("pilot.units_completed", 3);
+        rec.record(md(0, 0.0, 1.0));
+        rec.extend(vec![md(0, 0.0, 2.0), md(1, 2.0, 3.0)]);
+        assert_eq!(rec.event_count(), 0, "live-only recorder buffers nothing");
+        let stats = crate::live::EmitStats {
+            completed: 1,
+            total: 4,
+            time: 3.0,
+            failed_tasks: 0,
+            relaunched_tasks: 0,
+            done: false,
+        };
+        let snap = rec.live_emit(&stats).expect("fold installed");
+        assert_eq!(snap.md_segments, 3);
+        assert_eq!(snap.units_submitted, 4);
+        assert_eq!(snap.units_completed, 3);
+        assert_eq!(rec.live_seq(), Some(1));
+        // An enabled() recorder both folds and buffers.
+        let rec = Recorder::enabled();
+        rec.enable_live(crate::live::LiveConfig::default());
+        rec.record(md(0, 0.0, 1.0));
+        assert_eq!(rec.event_count(), 1);
+        assert_eq!(rec.live_emit(&stats).unwrap().md_segments, 1);
+        // And a plain enabled() recorder without a fold emits nothing.
+        assert!(Recorder::enabled().live_emit(&stats).is_none());
+        assert_eq!(Recorder::disabled().live_seq(), None);
     }
 
     #[test]

@@ -154,6 +154,7 @@ impl<R: Send + 'static> Executor<R> for LocalExecutor<R> {
         }
         let unit = self.rx.recv().expect("worker sender alive while outstanding > 0");
         self.outstanding -= 1;
+        self.recorder.count("pilot.units_completed", 1);
         if unit.is_failed() {
             self.recorder.count("pilot.units_failed", 1);
         }

@@ -155,6 +155,7 @@ impl<R> Executor<R> for SimExecutor<R> {
         let (end, unit) = self.pending.pop()?;
         debug_assert_eq!(unit.end, end);
         self.now = self.now.max(end);
+        self.recorder.count("pilot.units_completed", 1);
         Some(unit)
     }
 
