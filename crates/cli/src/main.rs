@@ -22,12 +22,21 @@
 //! repex validate <config.json>                  check a configuration
 //! repex example-config [tremd|tsu|ph]           print a starter config
 //! repex capabilities                            print the Table 1 comparison
+//! repex serve --spool <dir> [--cluster <preset>] [--addr <host:port>]
+//!             [--max-queue <n>] [--slice <cycles>]   multi-tenant campaign service
+//! repex submit <config.json> --campaign <id> [--server <host:port>]
+//!              [--tenant <t>] [--weight <w>] [--priority <p>]
+//! repex status [<id>] [--server ...] [--json]   one campaign, or the whole queue
+//! repex cancel <id> [--server ...]              stop a campaign (final checkpoint kept)
+//! repex results <id> [--server ...] [--json <out.json>]
+//! repex metrics [--server ...]                  merged Prometheus exposition
 //! ```
 //!
 //! Exit codes (shared by `check` and `analyze`, honored by `run`):
 //! 0 = clean, 1 = error-level findings, 2 = usage/IO/parse error.
 
 mod analyze;
+mod serve;
 mod watch;
 
 use analysis::tables::{f1, TextTable};
@@ -44,6 +53,12 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("analyze") => analyze::cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map(|()| 0),
+        Some("serve") => serve::cmd_serve(&args[1..]),
+        Some("submit") => serve::cmd_submit(&args[1..]),
+        Some("status") => serve::cmd_status(&args[1..]),
+        Some("cancel") => serve::cmd_cancel(&args[1..]),
+        Some("results") => serve::cmd_results(&args[1..]),
+        Some("metrics") => serve::cmd_metrics(&args[1..]),
         Some("example-config") => cmd_example(&args[1..]).map(|()| 0),
         Some("capabilities") => {
             println!("{}", repex::capabilities::render_table1_markdown());
@@ -78,7 +93,24 @@ fn print_usage() {
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
          repex analyze --bench <BENCH_*.json>...\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
-         repex capabilities\n\n\
+         repex capabilities\n  \
+         repex serve --spool <dir> [--cluster <preset>] [--addr <host:port>]\n            \
+[--max-queue <n>] [--slice <cycles>]\n  \
+         repex submit <config.json> --campaign <id> [--server <host:port>]\n            \
+[--tenant <t>] [--weight <w>] [--priority <p>]\n  \
+         repex status [<id>] [--server <host:port>] [--json]\n  \
+         repex cancel <id> [--server <host:port>]\n  \
+         repex results <id> [--server <host:port>] [--json <out.json>]\n  \
+         repex metrics [--server <host:port>]\n\n\
+         serve runs the multi-tenant campaign service (DESIGN.md §13): a durable,\n\
+lint-gated job queue in --spool, weighted fair-share scheduling of every\n\
+tenant's pilot over one shared --cluster pool, and a JSON API the other\n\
+verbs speak. submit exits 0 when the campaign is accepted, 1 when the\n\
+service rejects it (typed S0xx/lint diagnostics printed); cancel stops a\n\
+campaign at its next consistency point and keeps its final checkpoint;\n\
+results returns the canonical report — byte-identical to repex run --json\n\
+on the same config; metrics is the merged Prometheus exposition with one\n\
+campaign label per tenant stream.\n\n\
          check lints the plan without executing it: schedulability, exchange \
 core\nrequirements, async liveness, ladder acceptance, pairing coverage and \
 fault\npolicy (rule catalog in DESIGN.md §9). run performs the same pass and \
@@ -157,7 +189,7 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
 }
 
 /// Fetch a numeric `--flag <n>` argument.
-fn uint_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+pub(crate) fn uint_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
     flag_value(args, flag)?
         .map(|v| v.parse::<u64>().map_err(|_| format!("{flag} needs a count, got {v:?}")))
         .transpose()
@@ -301,23 +333,10 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
     }
 
     if let Some(out) = json_out {
-        let doc = serde_json::json!({
-            "title": report.title,
-            "pattern": report.pattern,
-            "execution_mode": report.execution_mode,
-            "n_replicas": report.n_replicas,
-            "pilot_cores": report.pilot_cores,
-            "makespan_s": report.makespan,
-            "utilization_percent": report.utilization_percent,
-            "failed_tasks": report.failed_tasks,
-            "relaunched_tasks": report.relaunched_tasks,
-            "round_trips": report.round_trips,
-            "cycles": report.cycles,
-            "acceptance": report.acceptance.iter().map(|(l, a)| {
-                serde_json::json!({"dimension": l.to_string(), "attempts": a.attempts,
-                                   "accepted": a.accepted, "ratio": a.ratio()})
-            }).collect::<Vec<_>>(),
-        });
+        // The document is built by the shared encoder so it is
+        // byte-identical to what the campaign service serves from
+        // `GET /campaigns/:id/results`.
+        let doc = report.to_json_doc();
         let body = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("[report written: {out}]");

@@ -18,6 +18,13 @@
 //! numbers; the reader keeps the last record per `seq` (the resumed run's
 //! version), exactly like `obs::merge_snapshots`.
 //!
+//! Follow mode is torn-write tolerant: a malformed line at the current end
+//! of the stream is treated as a write in progress (the cursor rewinds and
+//! the next poll re-reads it whole), while a malformed line that already
+//! has complete lines after it is skipped with a warning. `--once` keeps
+//! the stricter contract — interior corruption is an error there, because
+//! a one-shot report has no later poll to self-correct with.
+//!
 //! Exit codes: 0 = clean, 1 = an error-severity finding is active in the
 //! latest snapshot, 2 = usage/IO/parse error (via `Err`).
 
@@ -51,11 +58,11 @@ fn follow(path: &str, json: bool) -> Result<u8, String> {
     // Fail fast on a missing file rather than silently polling forever.
     std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut offset = 0u64;
+    let mut warned = false;
     let mut latest: Option<serde_json::Value> = None;
     loop {
-        for line in read_complete_lines(path, &mut offset)? {
-            let snap: serde_json::Value = serde_json::from_str(&line)
-                .map_err(|e| format!("{path}: malformed snapshot line: {e}"))?;
+        let lines = read_complete_lines(path, &mut offset)?;
+        for snap in parse_follow_batch(lines, &mut offset, &mut warned, path) {
             if json {
                 println!("{snap}");
             } else {
@@ -155,16 +162,61 @@ fn merge_by_seq(snaps: Vec<serde_json::Value>) -> Vec<serde_json::Value> {
     by_seq.into_values().collect()
 }
 
-/// New complete lines appended since `offset`. Bytes after the last newline
-/// are a torn tail: left unconsumed for the next poll.
-fn read_complete_lines(path: &str, offset: &mut u64) -> Result<Vec<String>, String> {
+/// New complete lines appended since `offset`, each with the byte offset it
+/// starts at. Bytes after the last newline are a torn tail: left unconsumed
+/// for the next poll.
+fn read_complete_lines(path: &str, offset: &mut u64) -> Result<Vec<(u64, String)>, String> {
     let mut f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     f.seek(SeekFrom::Start(*offset)).map_err(|e| format!("cannot seek {path}: {e}"))?;
     let mut buf = String::new();
     f.read_to_string(&mut buf).map_err(|e| format!("cannot read {path}: {e}"))?;
     let Some(end) = buf.rfind('\n') else { return Ok(Vec::new()) };
+    let base = *offset;
     *offset += (end + 1) as u64;
-    Ok(buf[..=end].lines().filter(|l| !l.trim().is_empty()).map(String::from).collect())
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for raw in buf[..=end].split_inclusive('\n') {
+        let start = base + pos as u64;
+        pos += raw.len();
+        let line = raw.trim();
+        if !line.is_empty() {
+            out.push((start, line.to_string()));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one batch of newline-terminated lines from the follow tail. A
+/// malformed line at the END of the batch may still be a torn write racing
+/// the reader (a single `write` is not guaranteed atomic for a concurrent
+/// reader on every filesystem): rewind the cursor to its start so the next
+/// poll re-reads it whole. A malformed line with complete lines after it is
+/// genuine corruption: skipped with a one-time warning, and the tail keeps
+/// flowing — an interrupted `watch` must not kill a healthy campaign view.
+fn parse_follow_batch(
+    lines: Vec<(u64, String)>,
+    offset: &mut u64,
+    warned: &mut bool,
+    path: &str,
+) -> Vec<serde_json::Value> {
+    let mut out = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    for (i, (start, line)) in lines.into_iter().enumerate() {
+        match serde_json::from_str(&line) {
+            Ok(v) => out.push(v),
+            Err(_) if i == last => {
+                *offset = start;
+                break;
+            }
+            Err(e) => {
+                if !*warned {
+                    eprintln!("[watch] {path}: skipping malformed snapshot line: {e}");
+                    *warned = true;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// One human line per snapshot: progress, clock, ETA, Tc percentiles,
@@ -294,6 +346,57 @@ mod tests {
         assert_eq!(code, 0, "done snapshot ends the tail");
         let code = cmd_watch(&[path.to_string_lossy().into_owned(), "--json".into()]).unwrap();
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn follow_batch_rewinds_on_torn_tail_and_skips_interior_corruption() {
+        let mut warned = false;
+        // Batch ending in a malformed fragment: possibly a torn write, so
+        // the cursor rewinds to the fragment's start for the next poll.
+        let mut offset = 100u64;
+        let lines =
+            vec![(0u64, snap_line(1, false, 2, 1)), (50u64, "{\"seq\":2,\"tr".to_string())];
+        let snaps = parse_follow_batch(lines, &mut offset, &mut warned, "s");
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(offset, 50, "cursor rewound to the torn line's start");
+        assert!(!warned, "a possibly-torn tail is not corruption");
+        // The same fragment with a complete line after it is genuine
+        // corruption: skipped (once, with a warning), cursor untouched.
+        let mut offset = 200u64;
+        let lines =
+            vec![(50u64, "{\"seq\":2,\"tr".to_string()), (80u64, snap_line(3, true, 6, 3))];
+        let snaps = parse_follow_batch(lines, &mut offset, &mut warned, "s");
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0]["seq"], 3);
+        assert_eq!(offset, 200, "interior corruption does not rewind");
+        assert!(warned);
+    }
+
+    #[test]
+    fn follow_reassembles_a_torn_trailing_line_across_polls() {
+        let dir = std::env::temp_dir().join("repex-cli-watch-torn-follow");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jsonl");
+        // The writer is caught mid-append: the first half of snapshot 2 is
+        // on disk with no newline yet.
+        let second = snap_line(2, false, 4, 2);
+        let (head, tail) = second.split_at(second.len() / 2);
+        std::fs::write(&path, format!("{}\n{head}", snap_line(1, false, 2, 1))).unwrap();
+        let writer = {
+            let path = path.clone();
+            let tail = tail.to_string();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                use std::io::Write;
+                let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+                writeln!(f, "{tail}").unwrap();
+                writeln!(f, "{}", snap_line(3, true, 6, 3)).unwrap();
+            })
+        };
+        let code = cmd_watch(&[path.to_string_lossy().into_owned()]).unwrap();
+        writer.join().unwrap();
+        assert_eq!(code, 0, "the reassembled line parses and done ends the tail");
     }
 
     #[test]

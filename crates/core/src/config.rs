@@ -442,18 +442,7 @@ impl SimulationConfig {
     /// cluster-level effects (filesystem slowdown) applied — so the lints,
     /// the data-staging model and the drivers all see the stressed cluster.
     pub fn cluster(&self) -> Result<hpc::ClusterSpec, String> {
-        let name = self.resource.cluster.as_str();
-        let mut spec = if name == "supermic" {
-            hpc::ClusterSpec::supermic()
-        } else if name == "stampede" {
-            hpc::ClusterSpec::stampede()
-        } else if let Some(cores) = name.strip_prefix("small:") {
-            let cores: usize =
-                cores.parse().map_err(|_| format!("bad small cluster size {cores:?}"))?;
-            hpc::ClusterSpec::small_cluster(cores)
-        } else {
-            return Err(format!("unknown cluster {name:?} (supermic|stampede|small:<cores>)"));
-        };
+        let mut spec = cluster_preset(self.resource.cluster.as_str())?;
         if let Some(sc) = &self.scenario {
             sc.apply_to_cluster(&mut spec);
         }
@@ -724,6 +713,25 @@ impl SimulationConfig {
             self.resource.cores_per_replica,
             cluster.core_speed,
         )
+    }
+}
+
+/// Resolve a bare cluster preset name (`supermic|stampede|small:<cores>`)
+/// without a configuration document — the campaign service uses this to
+/// stand up the one shared virtual cluster its tenants multiplex onto.
+/// [`SimulationConfig::cluster`] goes through the same table before
+/// layering scenario effects on top.
+pub fn cluster_preset(name: &str) -> Result<hpc::ClusterSpec, String> {
+    if name == "supermic" {
+        Ok(hpc::ClusterSpec::supermic())
+    } else if name == "stampede" {
+        Ok(hpc::ClusterSpec::stampede())
+    } else if let Some(cores) = name.strip_prefix("small:") {
+        let cores: usize =
+            cores.parse().map_err(|_| format!("bad small cluster size {cores:?}"))?;
+        Ok(hpc::ClusterSpec::small_cluster(cores))
+    } else {
+        Err(format!("unknown cluster {name:?} (supermic|stampede|small:<cores>)"))
     }
 }
 

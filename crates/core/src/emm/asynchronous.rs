@@ -147,7 +147,11 @@ pub fn run_async(ctx: &mut DriverCtx) -> Result<AsyncOutcome, String> {
                 write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
                 failed_at_last_checkpoint = ctx.failed_tasks;
             }
-            if round_limit.is_some_and(|limit| exchange_rounds >= limit) {
+            // A cooperative stop (campaign cancellation or service
+            // shutdown) exits here, at the same post-flush consistency
+            // point the round limit uses: write a final checkpoint and
+            // hand back a resumable partial outcome.
+            if ctx.stop_requested() || round_limit.is_some_and(|limit| exchange_rounds >= limit) {
                 write_async_checkpoint(ctx, &st, next_tick, exchange_rounds)?;
                 return Ok(AsyncOutcome {
                     makespan: ctx.pilot.executor.now().as_secs(),

@@ -122,11 +122,25 @@ pub struct DriverCtx {
     /// checkpoint/resume so a resumed leg appends strictly increasing seqs
     /// to the same snapshot stream.
     pub telemetry_seq: u64,
+    /// Cooperative cancellation: when another thread sets this flag the
+    /// driver stops at its next consistency point (sync cycle barrier /
+    /// flushed async round), writes a final checkpoint if a policy is
+    /// configured, and returns the partial result. This is what makes a
+    /// campaign drivable as a resumable job instead of a one-shot run.
+    pub stop_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl DriverCtx {
     pub fn n_replicas(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// True when an embedding caller (the campaign service, a signal
+    /// handler) has requested a cooperative stop.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_flag
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Atom count charged to the performance model.

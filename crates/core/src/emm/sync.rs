@@ -51,10 +51,16 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
             ctx.cfg.n_cycles,
             ctx.completed_cycles == ctx.cfg.n_cycles,
         )?;
+        // A cooperative stop (campaign cancellation or service shutdown)
+        // is honored here, at the cycle barrier — the same consistency
+        // point the checkpoint uses, so the final checkpoint it forces is
+        // indistinguishable from a `--stop-after` one.
+        let stop = ctx.stop_requested();
         if let Some(policy) = &ctx.checkpoint {
             let due = policy.due(ctx.completed_cycles)
                 || ctx.failed_tasks > failed_at_last_checkpoint
-                || cycle + 1 == end_cycle;
+                || cycle + 1 == end_cycle
+                || stop;
             if due {
                 crate::checkpoint::write_if_configured(
                     ctx,
@@ -72,6 +78,9 @@ pub fn run_sync(ctx: &mut DriverCtx) -> Result<Vec<CycleReport>, String> {
             if let Some(snap) = &snapshot {
                 eprintln!("{}", obs::render_progress_line(snap));
             }
+        }
+        if stop {
+            break;
         }
     }
     Ok(reports)

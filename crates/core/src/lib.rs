@@ -41,7 +41,8 @@ pub mod task;
 pub mod timing;
 
 pub use config::{
-    DimensionConfig, EngineChoice, FaultPolicy, Pattern, ResourceConfig, SimulationConfig, Workload,
+    cluster_preset, DimensionConfig, EngineChoice, FaultPolicy, Pattern, ResourceConfig,
+    SimulationConfig, Workload,
 };
 pub use diag::{Diagnostic, Severity};
 pub use report::{CycleReport, SimulationReport};

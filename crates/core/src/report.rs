@@ -62,6 +62,35 @@ impl SimulationReport {
         self.average_timing().total()
     }
 
+    /// The canonical machine-readable report document — the body of
+    /// `repex run --json` and of the campaign service's
+    /// `GET /campaigns/:id/results`. One shared encoder, so a campaign run
+    /// through the service can be compared bit-for-bit against the same
+    /// config run standalone.
+    pub fn to_json_doc(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "pattern": self.pattern,
+            "execution_mode": self.execution_mode,
+            "n_replicas": self.n_replicas,
+            "pilot_cores": self.pilot_cores,
+            "makespan_s": self.makespan,
+            "utilization_percent": self.utilization_percent,
+            "failed_tasks": self.failed_tasks,
+            "relaunched_tasks": self.relaunched_tasks,
+            "round_trips": self.round_trips,
+            "cycles": self.cycles,
+            "acceptance": self.acceptance.iter().map(|(l, a)| {
+                serde_json::json!({
+                    "dimension": l.to_string(),
+                    "attempts": a.attempts,
+                    "accepted": a.accepted,
+                    "ratio": a.ratio(),
+                })
+            }).collect::<Vec<_>>(),
+        })
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         let avg = self.average_timing();

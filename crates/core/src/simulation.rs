@@ -113,6 +113,7 @@ pub fn build_ctx(cfg: SimulationConfig) -> Result<DriverCtx, String> {
         live_request: None,
         live_sinks: None,
         telemetry_seq: 0,
+        stop_flag: None,
     })
 }
 
@@ -156,6 +157,20 @@ impl RemdSimulation {
     /// point for checkpoint/resume testing (`repex run --stop-after`).
     pub fn with_cycle_limit(mut self, limit: u64) -> Self {
         self.ctx.cycle_limit = Some(limit);
+        self
+    }
+
+    /// Attach a cooperative stop flag: when another thread sets it, the
+    /// run stops at its next consistency point (sync cycle barrier /
+    /// flushed async round), writes a final checkpoint when a policy is
+    /// configured, and returns the partial report — the cancellation path
+    /// of the campaign service. Unlike [`Self::with_cycle_limit`] the
+    /// interruption point is chosen at runtime, not planned.
+    pub fn with_stop_flag(
+        mut self,
+        flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        self.ctx.stop_flag = Some(flag);
         self
     }
 

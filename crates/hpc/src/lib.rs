@@ -15,6 +15,7 @@ pub mod events;
 pub mod fault;
 pub mod filesystem;
 pub mod perfmodel;
+pub mod pool;
 pub mod queue;
 pub mod scenario;
 pub mod time;
@@ -25,6 +26,7 @@ pub use events::EventQueue;
 pub use fault::{FaultModel, FaultModelError, HazardModel};
 pub use filesystem::SharedFilesystem;
 pub use perfmodel::{EngineKind, ExchangeKind, PerfModel};
+pub use pool::{CorePool, PoolError};
 pub use scenario::Scenario;
 pub use time::SimTime;
 pub use timeline::{CoreTimeline, Slot};

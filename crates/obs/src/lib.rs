@@ -34,9 +34,9 @@ pub use critical_path::{critical_path, cycle_critical_paths, CriticalPath, Cycle
 pub use event::{Event, OverheadScope};
 pub use health::{exchange_health, implied_slot_count, replay_slot_walk, DimExchangeHealth};
 pub use live::{
-    evaluate_rules, merge_snapshots, prometheus_text, render_progress_line, sanitize_metric_name,
-    DimSnapshot, EmitStats, Finding, HistSummary, LiveBaseline, LiveConfig, LiveState,
-    TelemetrySnapshot,
+    campaign_label, evaluate_rules, merge_snapshots, prometheus_text, render_progress_line,
+    sanitize_metric_name, validate_campaign_id, CampaignIdError, DimSnapshot, EmitStats, Finding,
+    HistSummary, LiveBaseline, LiveConfig, LiveState, TelemetrySnapshot, CAMPAIGN_ID_MAX_LEN,
 };
 pub use recorder::Recorder;
 pub use stats::LogHistogram;

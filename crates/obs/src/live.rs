@@ -316,8 +316,74 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
-/// Escape a Prometheus label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
-fn escape_label(value: &str) -> String {
+/// Maximum length accepted by [`validate_campaign_id`].
+pub const CAMPAIGN_ID_MAX_LEN: usize = 64;
+
+/// Why [`validate_campaign_id`] rejected an id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignIdError {
+    /// The id is the empty string.
+    Empty,
+    /// The id exceeds [`CAMPAIGN_ID_MAX_LEN`] characters.
+    TooLong { len: usize },
+    /// The first character is not ASCII alphanumeric.
+    BadStart { ch: char },
+    /// A character outside `[A-Za-z0-9._-]` appears at `index`.
+    BadChar { ch: char, index: usize },
+}
+
+impl std::fmt::Display for CampaignIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignIdError::Empty => write!(f, "campaign id is empty"),
+            CampaignIdError::TooLong { len } => write!(
+                f,
+                "campaign id is {len} characters, longer than the {CAMPAIGN_ID_MAX_LEN}-character cap"
+            ),
+            CampaignIdError::BadStart { ch } => write!(
+                f,
+                "campaign id must start with an ASCII letter or digit, not {ch:?}"
+            ),
+            CampaignIdError::BadChar { ch, index } => write!(
+                f,
+                "campaign id contains {ch:?} at position {index}; allowed characters are [A-Za-z0-9._-]"
+            ),
+        }
+    }
+}
+
+/// Validate a campaign id: 1..=64 characters of `[A-Za-z0-9._-]`, starting
+/// with an ASCII alphanumeric. These are exactly the ids for which
+/// [`campaign_label`] is the identity, so a valid id renders unescaped in
+/// Prometheus label values, survives a JSONL round trip unchanged, and is
+/// safe as a spool/checkpoint directory name. The campaign service and the
+/// exporter share this one gate instead of each sanitizing its own way.
+pub fn validate_campaign_id(id: &str) -> Result<(), CampaignIdError> {
+    let mut chars = id.chars();
+    let Some(first) = chars.next() else {
+        return Err(CampaignIdError::Empty);
+    };
+    let len = id.chars().count();
+    if len > CAMPAIGN_ID_MAX_LEN {
+        return Err(CampaignIdError::TooLong { len });
+    }
+    if !first.is_ascii_alphanumeric() {
+        return Err(CampaignIdError::BadStart { ch: first });
+    }
+    for (index, ch) in id.chars().enumerate().skip(1) {
+        if !(ch.is_ascii_alphanumeric() || matches!(ch, '.' | '_' | '-')) {
+            return Err(CampaignIdError::BadChar { ch, index });
+        }
+    }
+    Ok(())
+}
+
+/// Escape any campaign string as a Prometheus label value (`\` → `\\`,
+/// `"` → `\"`, newline → `\n`). This is the single shared sanitizer: the
+/// exporter uses it for the `campaign` label and the campaign service uses
+/// it for service-level series, so the two can never drift. For ids
+/// accepted by [`validate_campaign_id`] it is the identity.
+pub fn campaign_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -335,7 +401,7 @@ fn escape_label(value: &str) -> String {
 /// [`sanitize_metric_name`].
 pub fn prometheus_text(s: &TelemetrySnapshot) -> String {
     use crate::json::num_exact as n;
-    let campaign = escape_label(&s.campaign);
+    let campaign = campaign_label(&s.campaign);
     let mut out = String::with_capacity(1024);
     let mut gauge = |name: &str, help: &str, value: String| {
         let name = sanitize_metric_name(name);
@@ -394,7 +460,7 @@ pub fn prometheus_text(s: &TelemetrySnapshot) -> String {
             };
             out.push_str(&format!(
                 "{name}{{campaign=\"{campaign}\",dim=\"{}\"}} {value}\n",
-                escape_label(&d.kind.to_string())
+                campaign_label(&d.kind.to_string())
             ));
         }
     }
@@ -406,7 +472,7 @@ pub fn prometheus_text(s: &TelemetrySnapshot) -> String {
         for f in &s.findings {
             out.push_str(&format!(
                 "{name}{{campaign=\"{campaign}\",code=\"{}\"}} 1\n",
-                escape_label(f.code)
+                campaign_label(f.code)
             ));
         }
     }
@@ -1036,6 +1102,48 @@ mod tests {
             "repex_exchange_attempts_total{campaign=\"multi \\\"tenant\\\"\",dim=\"T\"} 1"
         ));
         assert!(text.contains("repex_finding_active"));
+    }
+
+    #[test]
+    fn campaign_id_validation_accepts_exactly_the_escape_free_ids() {
+        for id in ["a", "run-1", "tenant.a_2026", "X", "0th", &"a".repeat(64)] {
+            assert_eq!(validate_campaign_id(id), Ok(()), "{id:?}");
+            assert_eq!(campaign_label(id), id, "valid ids need no escaping: {id:?}");
+        }
+        assert_eq!(validate_campaign_id(""), Err(CampaignIdError::Empty));
+        assert_eq!(
+            validate_campaign_id(&"a".repeat(65)),
+            Err(CampaignIdError::TooLong { len: 65 })
+        );
+        assert_eq!(
+            validate_campaign_id("-leading"),
+            Err(CampaignIdError::BadStart { ch: '-' })
+        );
+        assert_eq!(
+            validate_campaign_id(".hidden"),
+            Err(CampaignIdError::BadStart { ch: '.' })
+        );
+        assert_eq!(
+            validate_campaign_id("has space"),
+            Err(CampaignIdError::BadChar { ch: ' ', index: 3 })
+        );
+        assert_eq!(
+            validate_campaign_id("quo\"te"),
+            Err(CampaignIdError::BadChar { ch: '"', index: 3 })
+        );
+        // Every rejection renders a human-readable reason.
+        for bad in ["", "has space", "-x", &"a".repeat(65)] {
+            let err = validate_campaign_id(bad).unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn campaign_label_escapes_what_validation_rejects() {
+        assert_eq!(campaign_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        // Any string that needs escaping is an invalid id — the exporter
+        // can render it, but the service refuses it at admission.
+        assert!(validate_campaign_id("a\\b\"c\nd").is_err());
     }
 
     #[test]

@@ -1,0 +1,811 @@
+//! The campaign service: durable queue + fair-share scheduler + REST API.
+//!
+//! One scheduler thread plans queued jobs onto the shared pool every tick
+//! (or whenever woken by a submission/completion); each planned job runs
+//! **one slice** on its own runner thread — resume from its checkpoint if
+//! one exists, run up to `slice_cycles` cycles, checkpoint, release the
+//! cores, re-queue. Slicing is what makes fair-share real: a long
+//! campaign cannot squat on the pool, because between slices its cores
+//! return to the planner and the least-charged tenant goes first.
+//!
+//! Admission is lint-gated (the same pass as `repex run`) and rejects
+//! with typed `S0xx` diagnostics:
+//!
+//! | code | condition | HTTP |
+//! |------|-----------|------|
+//! | S001 | invalid campaign id                      | 400 |
+//! | S002 | duplicate campaign id                    | 409 |
+//! | S003 | config cluster ≠ service pool cluster    | 422 |
+//! | S004 | campaign needs more cores than the pool  | 422 |
+//! | S006 | non-positive / non-finite weight         | 400 |
+//! | S010 | queue at capacity (backpressure)         | 429 |
+//!
+//! Lint findings at Error level reject with 422 and the full diagnostic
+//! list in the body (same JSON schema as `repex check --json` findings).
+
+use crate::http::{Handler, HttpServer, Request, Response};
+use crate::metrics::{merge_prometheus, service_gauge};
+use crate::queue::{load_record, save_record, scan_spool, JobDirs, JobRecord, JobState};
+use crate::sched::{Candidate, FairShare};
+use parking_lot::{Condvar, Mutex};
+use repex::config::SimulationConfig;
+use repex::diag::Diagnostic;
+use repex::emm::LiveTelemetry;
+use repex::simulation::RemdSimulation;
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service configuration (`repex serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Spool root: one subdirectory per campaign.
+    pub spool: PathBuf,
+    /// Shared virtual cluster preset (`supermic|stampede|small:<cores>`).
+    /// Submitted configs must name the same preset — every tenant's pilot
+    /// is carved out of this one pool.
+    pub cluster: String,
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Backpressure: submissions beyond this many queued jobs are
+    /// rejected with 429/S010.
+    pub max_queue: usize,
+    /// Cycles per scheduling slice for synchronous campaigns (0 = run
+    /// each campaign to completion in one slice). Asynchronous campaigns
+    /// always run in one slice — their doneness is not observable from a
+    /// partial report — but still honor cancellation mid-run.
+    pub slice_cycles: u64,
+    /// Scheduler tick: the idle re-plan interval (submissions and
+    /// completions wake the planner immediately).
+    pub tick: Duration,
+}
+
+impl ServiceConfig {
+    /// Defaults for everything but the spool directory.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            spool: spool.into(),
+            cluster: "small:64".into(),
+            addr: "127.0.0.1:0".into(),
+            max_queue: 64,
+            slice_cycles: 4,
+            tick: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One campaign job: the durable record plus in-process runtime state.
+struct Job {
+    record: JobRecord,
+    dirs: JobDirs,
+    /// Cooperative stop flag handed to the running slice.
+    cancel: Arc<AtomicBool>,
+    /// Distinguishes user cancellation (terminal) from a service-shutdown
+    /// stop (job re-queues and resumes on restart).
+    user_cancelled: bool,
+    /// Shared across all slices of this job: accumulates the full event
+    /// stream for the final Chrome trace and busy-core integral.
+    recorder: obs::Recorder,
+}
+
+struct State {
+    jobs: HashMap<String, Job>,
+    fair: FairShare,
+    next_seq: u64,
+    stopping: bool,
+    /// Live runner threads (graceful stop waits for zero).
+    running: usize,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// A running campaign service. [`CampaignService::stop`] (or drop) shuts
+/// down gracefully: running slices are stopped at their next consistency
+/// point, checkpointed, and re-queued durably so a restarted service
+/// resumes them.
+pub struct CampaignService {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    http: Option<HttpServer>,
+    sched: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Deserialize)]
+struct SubmitRequest {
+    campaign: String,
+    #[serde(default = "default_tenant")]
+    tenant: String,
+    #[serde(default = "default_weight")]
+    weight: f64,
+    #[serde(default)]
+    priority: u8,
+    config: serde_json::Value,
+}
+
+fn default_tenant() -> String {
+    "default".into()
+}
+
+fn default_weight() -> f64 {
+    1.0
+}
+
+/// JSON body for a typed rejection: top-level error plus the full
+/// diagnostic list (same schema as `repex check --json` findings).
+fn reject(status: u16, diags: Vec<Diagnostic>) -> Response {
+    let error = diags
+        .first()
+        .map(|d| d.message.clone())
+        .unwrap_or_else(|| "rejected".to_string());
+    let doc = serde_json::json!({
+        "error": error,
+        "diagnostics": diags,
+    });
+    Response::json(status, &doc)
+}
+
+impl CampaignService {
+    /// Stand up the service: resolve the shared cluster, replay the spool
+    /// into the queue, start the scheduler thread and bind the API.
+    pub fn start(cfg: ServiceConfig) -> Result<Self, String> {
+        let cluster = repex::config::cluster_preset(&cfg.cluster)?;
+        let pool_cores = cluster.total_cores();
+        std::fs::create_dir_all(&cfg.spool)
+            .map_err(|e| format!("cannot create spool {}: {e}", cfg.spool.display()))?;
+        let mut jobs = HashMap::new();
+        let mut next_seq = 0u64;
+        for mut record in scan_spool(&cfg.spool)? {
+            next_seq = next_seq.max(record.seq + 1);
+            let dirs = JobDirs::new(&cfg.spool, &record.campaign);
+            // A record stuck in `running` means the previous service
+            // process died mid-slice; its checkpoint covers everything up
+            // to the last consistency point, so it simply re-queues.
+            if record.state == JobState::Running {
+                record.state = JobState::Queued;
+                save_record(&dirs, &record)?;
+            }
+            jobs.insert(
+                record.campaign.clone(),
+                Job {
+                    record,
+                    dirs,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    user_cancelled: false,
+                    recorder: obs::Recorder::enabled(),
+                },
+            );
+        }
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(State {
+                jobs,
+                fair: FairShare::new(pool_cores),
+                next_seq,
+                stopping: false,
+                running: 0,
+            }),
+            wake: Condvar::new(),
+        });
+        let sched_inner = Arc::clone(&inner);
+        let sched = std::thread::Builder::new()
+            .name("repex-svc-sched".into())
+            .spawn(move || scheduler_loop(&sched_inner))
+            .map_err(|e| format!("spawn scheduler: {e}"))?;
+        let handler_inner = Arc::clone(&inner);
+        let handler: Handler = Arc::new(move |req: &Request| route(&handler_inner, req));
+        let http = HttpServer::bind(&inner.cfg.addr, handler)?;
+        let addr = http.addr();
+        Ok(CampaignService { inner, addr, http: Some(http), sched: Some(sched) })
+    }
+
+    /// The bound API address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, signal running slices to stop at
+    /// their next consistency point (final checkpoint + durable re-queue),
+    /// and wait for every runner to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.stopping = true;
+            for job in st.jobs.values() {
+                if job.record.state == JobState::Running {
+                    job.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner.wake.notify_all();
+        if let Some(t) = self.sched.take() {
+            let _ = t.join();
+        }
+        if let Some(h) = self.http.take() {
+            h.stop();
+        }
+    }
+}
+
+impl Drop for CampaignService {
+    fn drop(&mut self) {
+        if self.sched.is_some() || self.http.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn scheduler_loop(inner: &Arc<Inner>) {
+    let mut st = inner.state.lock();
+    loop {
+        if st.stopping {
+            if st.running == 0 {
+                return;
+            }
+        } else {
+            let queued: Vec<Candidate> = st
+                .jobs
+                .values()
+                .filter(|j| j.record.state == JobState::Queued)
+                .map(|j| Candidate {
+                    id: j.record.campaign.clone(),
+                    tenant: j.record.tenant.clone(),
+                    weight: j.record.weight,
+                    priority: j.record.priority,
+                    seq: j.record.seq,
+                    cores: j.record.cores,
+                })
+                .collect();
+            for c in st.fair.plan(&queued) {
+                if st.fair.start(&c).is_err() {
+                    continue;
+                }
+                let Some(job) = st.jobs.get_mut(&c.id) else { continue };
+                job.record.state = JobState::Running;
+                // A fresh flag per slice: a stale stop request from a
+                // previous shutdown must not cancel the new slice.
+                job.cancel = Arc::new(AtomicBool::new(false));
+                if let Err(e) = save_record(&job.dirs, &job.record) {
+                    eprintln!("[repex-svc] {}: {e}", c.id);
+                }
+                st.running += 1;
+                let runner_inner = Arc::clone(inner);
+                let id = c.id.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("repex-svc-runner".into())
+                    .spawn(move || run_slice(&runner_inner, &id));
+                if spawned.is_err() {
+                    // Could not start the runner: undo the lease and
+                    // requeue so the job is not stranded in `running`.
+                    st.running -= 1;
+                    let _ = st.fair.finish(&c.id, &c.tenant, 0.0);
+                    if let Some(job) = st.jobs.get_mut(&c.id) {
+                        job.record.state = JobState::Queued;
+                        let _ = save_record(&job.dirs, &job.record);
+                    }
+                }
+            }
+        }
+        inner.wake.wait_for(&mut st, inner.cfg.tick);
+    }
+}
+
+/// Run one slice of campaign `id`: resume (or start) the simulation with
+/// checkpointing, live telemetry and the job's stop flag attached, then
+/// fold the outcome back into the job state.
+fn run_slice(inner: &Arc<Inner>, id: &str) {
+    let (config, dirs, cancel, recorder, slice_cycles) = {
+        let st = inner.state.lock();
+        let Some(job) = st.jobs.get(id) else { return };
+        (
+            job.record.config.clone(),
+            job.dirs.clone(),
+            Arc::clone(&job.cancel),
+            job.recorder.clone(),
+            inner.cfg.slice_cycles,
+        )
+    };
+    let is_async = matches!(config.pattern, repex::config::Pattern::Asynchronous { .. });
+    let started = Instant::now();
+    let result = run_leg(&config, &dirs, &cancel, &recorder, is_async, slice_cycles);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut st = inner.state.lock();
+    let Some(job) = st.jobs.get_mut(id) else { return };
+    let tenant = job.record.tenant.clone();
+    match result {
+        Err(e) => {
+            job.record.state = JobState::Failed;
+            job.record.error = Some(e);
+        }
+        Ok(report) => {
+            let done = if is_async {
+                !cancel.load(Ordering::Relaxed)
+            } else {
+                report.cycles.len() as u64 >= config.n_cycles
+            };
+            if done {
+                match finalize(&dirs, &report, &job.recorder) {
+                    Ok(()) => job.record.state = JobState::Done,
+                    Err(e) => {
+                        job.record.state = JobState::Failed;
+                        job.record.error = Some(e);
+                    }
+                }
+            } else if job.user_cancelled {
+                // The driver already wrote the final checkpoint at the
+                // stop point; the spool keeps it for post-mortems.
+                job.record.state = JobState::Cancelled;
+            } else {
+                // Slice limit reached, or a service shutdown stop: either
+                // way the job re-queues durably and resumes later.
+                job.record.state = JobState::Queued;
+            }
+        }
+    }
+    if let Err(e) = save_record(&job.dirs, &job.record) {
+        eprintln!("[repex-svc] {id}: {e}");
+    }
+    let _ = st.fair.finish(id, &tenant, elapsed);
+    st.running -= 1;
+    inner.wake.notify_all();
+}
+
+fn run_leg(
+    config: &SimulationConfig,
+    dirs: &JobDirs,
+    cancel: &Arc<AtomicBool>,
+    recorder: &obs::Recorder,
+    is_async: bool,
+    slice_cycles: u64,
+) -> Result<repex::SimulationReport, String> {
+    let ckpt_dir = dirs.checkpoint();
+    let ckpt_file = ckpt_dir.join(repex::checkpoint::CHECKPOINT_FILE);
+    let mut sim = if ckpt_file.exists() {
+        RemdSimulation::resume(&ckpt_dir)?
+    } else {
+        RemdSimulation::new(config.clone())?
+    };
+    sim = sim
+        .with_checkpoints(&ckpt_dir, 1)
+        .with_stop_flag(Arc::clone(cancel))
+        .with_recorder(recorder.clone())
+        .with_live_telemetry(LiveTelemetry {
+            stream: Some(dirs.stream()),
+            prom: Some(dirs.prom()),
+            campaign: Some(
+                dirs.dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| config.title.clone()),
+            ),
+        });
+    if !is_async && slice_cycles > 0 {
+        sim = sim.with_cycle_limit(slice_cycles);
+    }
+    sim.run()
+}
+
+/// Write the terminal artifacts: the canonical report document (built by
+/// the same encoder as `repex run --json`, hence bit-identical) and the
+/// whole-campaign Chrome trace.
+fn finalize(
+    dirs: &JobDirs,
+    report: &repex::SimulationReport,
+    recorder: &obs::Recorder,
+) -> Result<(), String> {
+    let body = serde_json::to_string_pretty(&report.to_json_doc())
+        .map_err(|e| format!("encode report: {e}"))?;
+    std::fs::write(dirs.report(), body)
+        .map_err(|e| format!("write {}: {e}", dirs.report().display()))?;
+    std::fs::write(dirs.trace(), recorder.chrome_trace_json())
+        .map_err(|e| format!("write {}: {e}", dirs.trace().display()))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+fn route(inner: &Arc<Inner>, req: &Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segs: Vec<&str> = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["metrics"]) => metrics(inner),
+        ("POST", ["campaigns"]) => submit(inner, &req.body),
+        ("GET", ["campaigns"]) => list(inner),
+        ("GET", ["campaigns", id]) => status(inner, id),
+        ("DELETE", ["campaigns", id]) => cancel(inner, id),
+        ("GET", ["campaigns", id, "results"]) => results(inner, id),
+        ("GET", _) | ("DELETE", _) => {
+            Response::json(404, &serde_json::json!({ "error": format!("no route {path}") }))
+        }
+        (m, _) => {
+            Response::json(405, &serde_json::json!({ "error": format!("method {m} not allowed") }))
+        }
+    }
+}
+
+fn submit(inner: &Arc<Inner>, body: &[u8]) -> Response {
+    let req: SubmitRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::json(
+                400,
+                &serde_json::json!({ "error": format!("bad submit body: {e}") }),
+            )
+        }
+    };
+    if let Err(e) = obs::validate_campaign_id(&req.campaign) {
+        return reject(
+            400,
+            vec![Diagnostic::error("S001", format!("invalid campaign id: {e}"))
+                .with_hint("ids are 1-64 characters of [A-Za-z0-9._-], starting alphanumeric")],
+        );
+    }
+    if !(req.weight.is_finite() && req.weight > 0.0) {
+        return reject(
+            400,
+            vec![Diagnostic::error(
+                "S006",
+                format!("fair-share weight must be a positive finite number, got {}", req.weight),
+            )],
+        );
+    }
+    let config: SimulationConfig = match serde_json::from_value(req.config) {
+        Ok(c) => c,
+        Err(e) => {
+            return Response::json(
+                400,
+                &serde_json::json!({ "error": format!("config parse error: {e}") }),
+            )
+        }
+    };
+    // The pool constraint: every tenant's pilot is carved out of the one
+    // shared cluster, so the config must target exactly that preset.
+    if config.resource.cluster != inner.cfg.cluster {
+        return reject(
+            422,
+            vec![Diagnostic::error(
+                "S003",
+                format!(
+                    "config targets cluster {:?} but this service schedules onto {:?}",
+                    config.resource.cluster, inner.cfg.cluster
+                ),
+            )
+            .with_path("/resource/cluster")
+            .with_hint(format!("set resource.cluster to {:?}", inner.cfg.cluster))],
+        );
+    }
+    let cores = match config.pilot_cores() {
+        Ok(c) => c,
+        Err(e) => return reject(422, vec![Diagnostic::error("C002", e)]),
+    };
+    let pool_cores = {
+        let st = inner.state.lock();
+        st.fair.pool().total()
+    };
+    if cores > pool_cores {
+        return reject(
+            422,
+            vec![Diagnostic::error(
+                "S004",
+                format!(
+                    "campaign needs {cores} cores but the shared pool has only {pool_cores}"
+                ),
+            )
+            .with_path("/resource")],
+        );
+    }
+    // The same lint pass that gates `repex run`: error findings reject.
+    let diags = lint::lint_config(&config, &lint::LintOptions::default());
+    if repex::diag::has_errors(&diags) {
+        return reject(422, diags);
+    }
+
+    let mut st = inner.state.lock();
+    if st.stopping {
+        return Response::json(503, &serde_json::json!({ "error": "service is shutting down" }));
+    }
+    if st.jobs.contains_key(&req.campaign) {
+        return reject(
+            409,
+            vec![Diagnostic::error(
+                "S002",
+                format!("campaign id {:?} already exists", req.campaign),
+            )
+            .with_hint("pick a fresh id; ids are never reused within one spool")],
+        );
+    }
+    let queued = st.jobs.values().filter(|j| j.record.state == JobState::Queued).count();
+    if queued >= inner.cfg.max_queue {
+        return reject(
+            429,
+            vec![Diagnostic::error(
+                "S010",
+                format!(
+                    "queue is at capacity ({queued}/{} jobs); retry after campaigns drain",
+                    inner.cfg.max_queue
+                ),
+            )],
+        );
+    }
+    let record = JobRecord {
+        campaign: req.campaign.clone(),
+        tenant: req.tenant,
+        weight: req.weight,
+        priority: req.priority,
+        seq: st.next_seq,
+        cores,
+        state: JobState::Queued,
+        error: None,
+        config,
+    };
+    st.next_seq += 1;
+    let dirs = JobDirs::new(&inner.cfg.spool, &req.campaign);
+    if let Err(e) = save_record(&dirs, &record) {
+        return Response::json(500, &serde_json::json!({ "error": e }));
+    }
+    let doc = serde_json::json!({
+        "campaign": record.campaign,
+        "tenant": record.tenant,
+        "state": record.state.as_str(),
+        "seq": record.seq,
+        "cores": record.cores,
+        "warnings": diags,
+    });
+    st.jobs.insert(
+        req.campaign,
+        Job {
+            record,
+            dirs,
+            cancel: Arc::new(AtomicBool::new(false)),
+            user_cancelled: false,
+            recorder: obs::Recorder::enabled(),
+        },
+    );
+    drop(st);
+    inner.wake.notify_all();
+    Response::json(201, &doc)
+}
+
+/// Job summary shared by the list and status endpoints.
+fn job_doc(job: &Job) -> serde_json::Value {
+    serde_json::json!({
+        "campaign": job.record.campaign,
+        "tenant": job.record.tenant,
+        "weight": job.record.weight,
+        "priority": job.record.priority,
+        "seq": job.record.seq,
+        "cores": job.record.cores,
+        "state": job.record.state.as_str(),
+        "error": job.record.error,
+    })
+}
+
+fn list(inner: &Arc<Inner>) -> Response {
+    let st = inner.state.lock();
+    let mut campaigns: Vec<&Job> = st.jobs.values().collect();
+    campaigns.sort_by_key(|j| j.record.seq);
+    let doc = serde_json::json!({
+        "pool": {
+            "cluster": inner.cfg.cluster,
+            "total_cores": st.fair.pool().total(),
+            "free_cores": st.fair.free_cores(),
+            "peak_leased_cores": st.fair.peak_leased(),
+        },
+        "queue_depth": st.jobs.values().filter(|j| j.record.state == JobState::Queued).count(),
+        "campaigns": campaigns.iter().map(|j| job_doc(j)).collect::<Vec<_>>(),
+    });
+    Response::json(200, &doc)
+}
+
+/// Latest complete parseable snapshot line from a campaign's JSONL stream.
+fn latest_snapshot(path: &std::path::Path) -> Option<serde_json::Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().rev().find_map(|l| serde_json::from_str(l.trim()).ok())
+}
+
+fn status(inner: &Arc<Inner>, id: &str) -> Response {
+    let st = inner.state.lock();
+    let Some(job) = st.jobs.get(id) else {
+        return Response::json(404, &serde_json::json!({ "error": format!("no campaign {id:?}") }));
+    };
+    let mut doc = job_doc(job);
+    if let Some(obj) = doc.as_object_mut() {
+        obj.insert(
+            "snapshot".into(),
+            latest_snapshot(&job.dirs.stream()).unwrap_or(serde_json::Value::Null),
+        );
+        obj.insert(
+            "checkpoint_exists".into(),
+            serde_json::Value::Bool(
+                job.dirs.checkpoint().join(repex::checkpoint::CHECKPOINT_FILE).exists(),
+            ),
+        );
+    }
+    Response::json(200, &doc)
+}
+
+fn cancel(inner: &Arc<Inner>, id: &str) -> Response {
+    let mut st = inner.state.lock();
+    let Some(job) = st.jobs.get_mut(id) else {
+        return Response::json(404, &serde_json::json!({ "error": format!("no campaign {id:?}") }));
+    };
+    match job.record.state {
+        s if s.is_terminal() => Response::json(
+            409,
+            &serde_json::json!({
+                "error": format!("campaign {id:?} is already {}", s.as_str()),
+                "state": s.as_str(),
+            }),
+        ),
+        JobState::Queued => {
+            job.user_cancelled = true;
+            job.record.state = JobState::Cancelled;
+            if let Err(e) = save_record(&job.dirs, &job.record) {
+                return Response::json(500, &serde_json::json!({ "error": e }));
+            }
+            Response::json(200, &serde_json::json!({ "campaign": id, "state": "cancelled" }))
+        }
+        JobState::Running => {
+            // The runner observes the flag at the next consistency point,
+            // writes a final checkpoint and marks the job cancelled.
+            job.user_cancelled = true;
+            job.cancel.store(true, Ordering::Relaxed);
+            Response::json(202, &serde_json::json!({ "campaign": id, "state": "cancelling" }))
+        }
+        _ => unreachable!("terminal states matched above"),
+    }
+}
+
+fn results(inner: &Arc<Inner>, id: &str) -> Response {
+    let st = inner.state.lock();
+    let Some(job) = st.jobs.get(id) else {
+        return Response::json(404, &serde_json::json!({ "error": format!("no campaign {id:?}") }));
+    };
+    if job.record.state != JobState::Done {
+        return Response::json(
+            409,
+            &serde_json::json!({
+                "error": format!(
+                    "campaign {id:?} is {}, results are available once done",
+                    job.record.state.as_str()
+                ),
+                "state": job.record.state.as_str(),
+                "job_error": job.record.error,
+            }),
+        );
+    }
+    let report: serde_json::Value = match std::fs::read_to_string(job.dirs.report())
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Response::json(
+                500,
+                &serde_json::json!({ "error": format!("report unreadable: {e}") }),
+            )
+        }
+    };
+    // Busy-core integral two ways: from the in-process event trace, and
+    // from the report's own utilization identity (Eq. 4) — the latter
+    // survives service restarts, the former proves the trace agrees.
+    let trace_busy = obs::md_busy_core_seconds(&job.recorder.events());
+    let report_busy = report["utilization_percent"].as_f64().unwrap_or(0.0) / 100.0
+        * report["pilot_cores"].as_f64().unwrap_or(0.0)
+        * report["makespan_s"].as_f64().unwrap_or(0.0);
+    let doc = serde_json::json!({
+        "campaign": id,
+        "state": "done",
+        "report": report,
+        "service": {
+            "tenant": job.record.tenant,
+            "weight": job.record.weight,
+            "cores": job.record.cores,
+            "md_busy_core_seconds": report_busy,
+            "trace_md_busy_core_seconds": trace_busy,
+            "artifacts": {
+                "report": job.dirs.report(),
+                "trace": job.dirs.trace(),
+                "stream": job.dirs.stream(),
+                "prometheus": job.dirs.prom(),
+                "checkpoint": job.dirs.checkpoint(),
+            },
+        },
+    });
+    Response::json(200, &doc)
+}
+
+fn metrics(inner: &Arc<Inner>) -> Response {
+    let st = inner.state.lock();
+    let mut parts = Vec::new();
+    let mut by_state: HashMap<&'static str, usize> = HashMap::new();
+    for job in st.jobs.values() {
+        *by_state.entry(job.record.state.as_str()).or_default() += 1;
+    }
+    parts.push(service_gauge(
+        "repex_svc_pool_cores",
+        "cores in the shared virtual cluster",
+        &[],
+        st.fair.pool().total(),
+    ));
+    parts.push(service_gauge(
+        "repex_svc_free_cores",
+        "cores not currently leased to a campaign",
+        &[],
+        st.fair.free_cores(),
+    ));
+    parts.push(service_gauge(
+        "repex_svc_peak_leased_cores",
+        "high-water mark of simultaneously leased cores",
+        &[],
+        st.fair.peak_leased(),
+    ));
+    parts.push(service_gauge(
+        "repex_svc_queue_depth",
+        "campaigns waiting for cores",
+        &[],
+        st.jobs.values().filter(|j| j.record.state == JobState::Queued).count(),
+    ));
+    for (state, count) in by_state {
+        parts.push(service_gauge(
+            "repex_svc_jobs",
+            "campaigns by lifecycle state",
+            &[("state", state)],
+            count,
+        ));
+    }
+    // Per-campaign exporter files, one unique `campaign` label each
+    // (validated and deduplicated at admission, so series stay disjoint).
+    let mut jobs: Vec<&Job> = st.jobs.values().collect();
+    jobs.sort_by_key(|j| j.record.seq);
+    for job in jobs {
+        if let Ok(text) = std::fs::read_to_string(job.dirs.prom()) {
+            parts.push(text);
+        }
+    }
+    Response::text(200, merge_prometheus(&parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `reject` bodies carry machine-readable codes in a stable schema.
+    #[test]
+    fn reject_body_schema() {
+        let resp = reject(
+            429,
+            vec![Diagnostic::error("S010", "queue is at capacity").with_hint("retry later")],
+        );
+        assert_eq!(resp.status, 429);
+        let doc: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(doc["error"], "queue is at capacity");
+        assert_eq!(doc["diagnostics"][0]["code"], "S010");
+        assert_eq!(doc["diagnostics"][0]["severity"], "error");
+        assert_eq!(doc["diagnostics"][0]["hint"], "retry later");
+    }
+
+    #[test]
+    fn latest_snapshot_skips_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("repex-svc-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jsonl");
+        std::fs::write(&path, "{\"seq\":1}\n{\"seq\":2}\n{\"seq\":3,\"tr").unwrap();
+        let snap = latest_snapshot(&path).unwrap();
+        assert_eq!(snap["seq"], 2, "torn trailing line is skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
