@@ -32,7 +32,15 @@ pub fn cmd_analyze(args: &[String]) -> Result<u8, String> {
     let z = num_flag(args, "--straggler-z")?.unwrap_or(2.0);
     let ratio = num_flag(args, "--straggler-ratio")?.unwrap_or(1.5);
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let events = parse_trace(&text)?;
+    let events = match parse_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            // Same boundary as check/plan: unparseable input exits 2, but a
+            // requested --json artifact still records a typed C000 error.
+            crate::write_parse_failure_report(json_out.as_deref(), &e);
+            return Err(e);
+        }
+    };
     let policy = obs::StragglerPolicy { z_threshold: z, ratio_threshold: ratio };
     let mut doc = analyze(&events, policy);
     let report = Report::new(derive_diagnostics(&events, &doc), None);

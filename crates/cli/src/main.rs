@@ -17,6 +17,8 @@
 //! repex run --resume <dir> [flags]              continue a checkpointed campaign
 //! repex watch <stream.jsonl> [--once] [--json]  tail a --metrics-stream file live
 //! repex check <config.json> [--json <out.json>]   static plan analysis (no execution)
+//! repex plan <config.json> [--json <plan.json>]   predict cost/acceptance, rank plans
+//!            [--target-round-trip <s>] [--budget-core-hours <h>] [--no-search]
 //! repex analyze <trace.json> [--json <out.json>]  run-health report from a trace
 //! repex analyze --bench <BENCH_*.json>...       compare perf records (provenance-linted)
 //! repex validate <config.json>                  check a configuration
@@ -24,6 +26,7 @@
 //! repex capabilities                            print the Table 1 comparison
 //! repex serve --spool <dir> [--cluster <preset>] [--addr <host:port>]
 //!             [--max-queue <n>] [--slice <cycles>]   multi-tenant campaign service
+//!             [--budget-core-hours <h>]              predictive admission budget (P010)
 //! repex submit <config.json> --campaign <id> [--server <host:port>]
 //!              [--tenant <t>] [--weight <w>] [--priority <p>]
 //! repex status [<id>] [--server ...] [--json]   one campaign, or the whole queue
@@ -32,10 +35,13 @@
 //! repex metrics [--server ...]                  merged Prometheus exposition
 //! ```
 //!
-//! Exit codes (shared by `check` and `analyze`, honored by `run`):
-//! 0 = clean, 1 = error-level findings, 2 = usage/IO/parse error.
+//! Exit codes (shared by `check`, `plan` and `analyze`, honored by `run`):
+//! 0 = clean, 1 = error-level findings, 2 = usage/IO/parse error. When the
+//! input itself fails to parse, all three exit 2 — and if `--json` was
+//! requested, the artifact still gets a single typed `C000` error record.
 
 mod analyze;
+mod plan;
 mod serve;
 mod watch;
 
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("watch") => watch::cmd_watch(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("plan") => plan::cmd_plan(&args[1..]),
         Some("analyze") => analyze::cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map(|()| 0),
         Some("serve") => serve::cmd_serve(&args[1..]),
@@ -89,13 +96,15 @@ fn print_usage() {
          repex run --resume <dir> [flags]\n  \
          repex watch <snap.jsonl> [--once] [--json]\n  \
          repex check <config.json> [--json <diag.json>]\n  \
+         repex plan <config.json> [--json <plan.json>] [--target-round-trip <s>]\n           \
+[--budget-core-hours <h>] [--no-search]\n  \
          repex analyze <trace.json> [--json <out.json>] \
 [--straggler-z <z>] [--straggler-ratio <r>]\n  \
          repex analyze --bench <BENCH_*.json>...\n  \
          repex validate <config.json>\n  repex example-config [tremd|tsu|ph]\n  \
          repex capabilities\n  \
          repex serve --spool <dir> [--cluster <preset>] [--addr <host:port>]\n            \
-[--max-queue <n>] [--slice <cycles>]\n  \
+[--max-queue <n>] [--slice <cycles>] [--budget-core-hours <h>]\n  \
          repex submit <config.json> --campaign <id> [--server <host:port>]\n            \
 [--tenant <t>] [--weight <w>] [--priority <p>]\n  \
          repex status [<id>] [--server <host:port>] [--json]\n  \
@@ -115,6 +124,11 @@ campaign label per tenant stream.\n\n\
 core\nrequirements, async liveness, ladder acceptance, pairing coverage and \
 fault\npolicy (rule catalog in DESIGN.md §9). run performs the same pass and \
 refuses\nerror-level findings unless --force.\n\
+         plan predicts what the campaign will cost before it burns an \
+allocation:\nEq. 1 makespan and utilization, per-ladder acceptance and \
+round-trip time,\nand a deterministic search over rung counts, cores and \
+pairing ranked\nagainst --target-round-trip (P0xx/P1xx catalog in \
+DESIGN.md §14).\n\
          --trace writes a Chrome Trace Event file (open in chrome://tracing \
 or Perfetto);\n--metrics writes a flat JSON object of counters;\n\
 --progress prints a run-health line every n cycles.\n\
@@ -135,8 +149,9 @@ stragglers,\nbatch imbalance, the critical path and exchange health \
 (see EXPERIMENTS.md).\n\
          analyze --bench summarizes BENCH_*.json perf records and warns when \
 records\nbeing compared were measured under different thread counts.\n\n\
-         Exit codes for check/analyze/run: 0 clean, 1 error-level findings, \
-2 usage error.\n\
+         Exit codes for check/plan/analyze/run: 0 clean, 1 error-level \
+findings,\n2 usage error (unparseable input always exits 2; a requested \
+--json artifact\nstill records it as a C000 diagnostic).\n\
          See README.md for the configuration schema and diagnostics JSON."
     );
 }
@@ -177,7 +192,13 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("check needs a config file path")?;
     let json_out = flag_value(args, "--json")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let cfg = SimulationConfig::from_json(&text)?;
+    let cfg = match SimulationConfig::from_json(&text) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            write_parse_failure_report(json_out.as_deref(), &e);
+            return Err(e);
+        }
+    };
     let diags = lint::lint_config(&cfg, &lint::LintOptions::default());
     let report = Report::new(diags, Some(&text));
     print!("{}", report.render_human(path));
@@ -193,6 +214,26 @@ pub(crate) fn uint_flag(args: &[String], flag: &str) -> Result<Option<u64>, Stri
     flag_value(args, flag)?
         .map(|v| v.parse::<u64>().map_err(|_| format!("{flag} needs a count, got {v:?}")))
         .transpose()
+}
+
+/// Fetch a floating-point `--flag <x>` argument.
+pub(crate) fn float_flag(args: &[String], flag: &str) -> Result<Option<f64>, String> {
+    flag_value(args, flag)?
+        .map(|v| v.parse::<f64>().map_err(|_| format!("{flag} needs a number, got {v:?}")))
+        .transpose()
+}
+
+/// The shared check/analyze/plan boundary convention: an input file that
+/// fails to parse is a *usage* error (exit 2, message on stderr) — never an
+/// exit-1 "findings" outcome — but when the caller asked for a `--json`
+/// artifact, a typed C000 record is still written so machine consumers see
+/// what happened instead of a missing file.
+pub(crate) fn write_parse_failure_report(json_out: Option<&str>, message: &str) {
+    if let Some(out) = json_out {
+        let report = Report::new(vec![lint::Diagnostic::error("C000", message)], None);
+        // Best-effort: the exit-2 path is already reporting the parse error.
+        let _ = std::fs::write(out, report.to_json());
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<u8, String> {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repex serve --spool <dir> [--cluster <preset>] [--addr <host:port>]
-//!             [--max-queue <n>] [--slice <cycles>]
+//!             [--max-queue <n>] [--slice <cycles>] [--budget-core-hours <h>]
 //! repex submit <config.json> --campaign <id> [--server <host:port>]
 //!              [--tenant <name>] [--weight <w>] [--priority <p>]
 //! repex status [<id>] [--server <host:port>] [--json]
@@ -55,6 +55,9 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<u8, String> {
     if let Some(n) = uint_flag(args, "--slice")? {
         cfg.slice_cycles = n;
     }
+    if let Some(h) = crate::float_flag(args, "--budget-core-hours")? {
+        cfg.budget_core_seconds = h * 3600.0;
+    }
     let service = svc::CampaignService::start(cfg)?;
     println!("repex service listening on http://{}", service.addr());
     // Serve until killed. Jobs interrupted by a hard kill re-queue from
@@ -65,9 +68,9 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<u8, String> {
 }
 
 fn parse_body(body: &[u8]) -> serde_json::Value {
-    serde_json::from_slice(body).unwrap_or_else(|_| {
-        serde_json::json!({ "error": String::from_utf8_lossy(body).into_owned() })
-    })
+    serde_json::from_slice(body).unwrap_or_else(
+        |_| serde_json::json!({ "error": String::from_utf8_lossy(body).into_owned() }),
+    )
 }
 
 /// Print a rejection body (`error` + optional `diagnostics`) the same way
@@ -240,13 +243,10 @@ mod tests {
 
     #[test]
     fn positional_skips_flags_and_their_values() {
-        let args: Vec<String> = ["--server", "127.0.0.1:1", "camp-a", "--json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(positional(&args), Some(&"camp-a".to_string()));
         let args: Vec<String> =
-            ["--json", "--server", "x"].iter().map(|s| s.to_string()).collect();
+            ["--server", "127.0.0.1:1", "camp-a", "--json"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(positional(&args), Some(&"camp-a".to_string()));
+        let args: Vec<String> = ["--json", "--server", "x"].iter().map(|s| s.to_string()).collect();
         assert_eq!(positional(&args), None);
     }
 
@@ -280,11 +280,8 @@ mod tests {
         let server = service.addr().to_string();
 
         let submit = |extra: &[&str]| -> u8 {
-            let mut args: Vec<String> = vec![
-                cfg_path.to_string_lossy().into_owned(),
-                "--server".into(),
-                server.clone(),
-            ];
+            let mut args: Vec<String> =
+                vec![cfg_path.to_string_lossy().into_owned(), "--server".into(), server.clone()];
             args.extend(extra.iter().map(|s| s.to_string()));
             cmd_submit(&args).unwrap()
         };

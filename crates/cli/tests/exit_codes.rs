@@ -1,0 +1,110 @@
+//! End-to-end exit-code matrix for the analysis-family subcommands.
+//!
+//! `check`, `plan` and `analyze` share one contract (documented in the
+//! `repex` usage text): 0 = clean, 1 = error-level findings, 2 = the input
+//! itself could not be read or parsed. On a parse failure every one of
+//! them still honors `--json` by writing an artifact with a single typed
+//! `C000` error record, so downstream tooling never has to distinguish
+//! "no artifact" from "bad input".
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The shared parse-failure code every artifact must carry.
+const PARSE_FAILURE_CODE: &str = "C000";
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repex")).args(args).output().expect("repex binary must spawn")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("repex must exit, not signal")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repex-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp scratch dir");
+    dir.join(name)
+}
+
+fn tremd() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs/tremd.json")
+}
+
+#[test]
+fn clean_inputs_exit_zero() {
+    for args in [vec!["check", tremd()], vec!["plan", tremd(), "--no-search"]] {
+        let out = run(&args);
+        assert_eq!(code(&out), 0, "{args:?}: {}", String::from_utf8_lossy(&out.stderr));
+    }
+}
+
+#[test]
+fn error_level_findings_exit_one() {
+    // A config that parses but cannot run: steps-per-cycle 0 is C020.
+    let text = std::fs::read_to_string(tremd()).expect("example config");
+    let broken = text.replace("\"steps-per-cycle\": 6000", "\"steps-per-cycle\": 0");
+    assert_ne!(text, broken, "the example config shape moved under this test");
+    let path = scratch("steps-zero.json");
+    std::fs::write(&path, broken).expect("write broken config");
+    for sub in ["check", "plan"] {
+        let out = run(&[sub, path.to_str().expect("utf-8 temp path")]);
+        assert_eq!(code(&out), 1, "{sub} must report findings, not a parse error");
+    }
+}
+
+#[test]
+fn missing_inputs_exit_two() {
+    for args in [
+        ["check", "/no/such/config.json"],
+        ["plan", "/no/such/config.json"],
+        ["analyze", "/no/such/trace.json"],
+    ] {
+        assert_eq!(code(&run(&args)), 2, "{args:?}");
+    }
+}
+
+#[test]
+fn unparseable_config_exits_two_and_writes_a_c000_artifact() {
+    let bad = scratch("not-json.json");
+    std::fs::write(&bad, "{ this is not json").expect("write bad config");
+    for sub in ["check", "plan"] {
+        let artifact = scratch(&format!("{sub}-c000.json"));
+        let out = run(&[
+            sub,
+            bad.to_str().expect("utf-8 temp path"),
+            "--json",
+            artifact.to_str().expect("utf-8 temp path"),
+        ]);
+        assert_eq!(code(&out), 2, "{sub} on unparseable input");
+        let written = std::fs::read_to_string(&artifact)
+            .unwrap_or_else(|_| panic!("{sub} must still write the --json artifact"));
+        assert!(
+            written.contains(&format!("\"{PARSE_FAILURE_CODE}\"")),
+            "{sub} artifact: {written}"
+        );
+        assert!(written.contains("\"error\""), "{sub} artifact severity: {written}");
+    }
+}
+
+#[test]
+fn malformed_trace_exits_two_and_writes_a_c000_artifact() {
+    let bad = scratch("not-a-trace.json");
+    std::fs::write(&bad, "][").expect("write bad trace");
+    let artifact = scratch("analyze-c000.json");
+    let out = run(&[
+        "analyze",
+        bad.to_str().expect("utf-8 temp path"),
+        "--json",
+        artifact.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code(&out), 2);
+    let written =
+        std::fs::read_to_string(&artifact).expect("analyze must still write the artifact");
+    assert!(written.contains(&format!("\"{PARSE_FAILURE_CODE}\"")), "analyze artifact: {written}");
+}
+
+#[test]
+fn bench_mode_without_records_is_a_usage_error() {
+    assert_eq!(code(&run(&["analyze", "--bench"])), 2);
+}

@@ -988,6 +988,60 @@ mod tests {
         assert!(c.validate().is_err());
     }
 
+    /// One crafted config per structural code: the registry check
+    /// (`tests/it_diag_registry.rs`) requires every cataloged code to be
+    /// exercised by at least one test, and this table is the single place
+    /// the resource/pattern family (C002, C03x, C04x) is pinned down.
+    #[test]
+    fn every_structural_code_fires_on_its_crafted_config() {
+        let cases: Vec<(&str, fn(&mut SimulationConfig))> = vec![
+            ("C002", |c| {
+                // Four sound dimensions: grid assembly itself refuses.
+                let dim = DimensionConfig::Temperature { min_k: 300.0, max_k: 310.0, count: 2 };
+                c.dimensions = vec![dim.clone(), dim.clone(), dim.clone(), dim];
+            }),
+            ("C030", |c| c.resource.cores_per_replica = 0),
+            ("C031", |c| c.resource.cluster = "nonesuch".into()),
+            ("C032", |c| c.resource.cores = Some(0)),
+            ("C033", |c| {
+                c.resource.cores_per_replica = 2;
+                c.resource.cores = Some(1);
+            }),
+            ("C034", |c| c.resource.cores = Some(1_000_000)),
+            ("C035", |c| {
+                // small:4 rounds up to one 16-core node; 8 replicas at 4
+                // cores each need 32 — Mode I cannot fit without `cores`.
+                c.resource.cluster = "small:4".into();
+                c.resource.cores_per_replica = 4;
+                c.resource.cores = None;
+            }),
+            ("C036", |c| c.resource.backend = "quantum".into()),
+            ("C037", |c| {
+                c.resource.use_gpu = true;
+                c.resource.cores_per_replica = 2;
+            }),
+            ("C038", |c| {
+                c.resource.use_gpu = true;
+                c.engine = EngineChoice::Gromacs;
+            }),
+            ("C040", |c| {
+                c.pattern = Pattern::Asynchronous { tick_fraction: 0.25 };
+                c.dimensions = vec![
+                    DimensionConfig::Temperature { min_k: 280.0, max_k: 320.0, count: 2 },
+                    DimensionConfig::Temperature { min_k: 280.0, max_k: 320.0, count: 2 },
+                ];
+            }),
+            ("C041", |c| c.pattern = Pattern::Asynchronous { tick_fraction: 0.0 }),
+        ];
+        for (code, mutate) in cases {
+            let mut c = SimulationConfig::t_remd(8, 600, 2);
+            mutate(&mut c);
+            let found = codes(&c);
+            assert!(found.contains(&code.to_string()), "expected {code}, got {found:?}");
+            assert!(c.validate().is_err(), "{code} must be an error");
+        }
+    }
+
     #[test]
     fn model_helpers_match_driver_expectations() {
         let c = SimulationConfig::t_remd(8, 6000, 2);

@@ -21,7 +21,9 @@
 //! | L4xx   | L401, L402 | temperature-ladder acceptance prediction |
 //! | L5xx   | L501–L503 | pairing round-trip coverage |
 //! | L6xx   | L601–L603 | fault-policy sanity vs injected MTBF |
+//! | P0xx/P1xx | P001, P010, P101–P103 | predictive campaign planning ([`plan`], `repex plan`) |
 
+pub mod plan;
 pub mod report;
 pub mod rules;
 pub mod span;
@@ -103,15 +105,14 @@ pub fn lint_config(cfg: &SimulationConfig, opts: &LintOptions) -> Vec<Diagnostic
         sort_by_severity(&mut out);
         return out;
     }
-    let (grid, cluster, pilot_cores) =
-        match (cfg.build_grid(), cfg.cluster(), cfg.pilot_cores()) {
-            (Ok(g), Ok(c), Ok(p)) => (g, c, p),
-            // Unreachable after a clean validate, but never panic in a linter.
-            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
-                out.push(Diagnostic::error("C002", e));
-                return out;
-            }
-        };
+    let (grid, cluster, pilot_cores) = match (cfg.build_grid(), cfg.cluster(), cfg.pilot_cores()) {
+        (Ok(g), Ok(c), Ok(p)) => (g, c, p),
+        // Unreachable after a clean validate, but never panic in a linter.
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+            out.push(Diagnostic::error("C002", e));
+            return out;
+        }
+    };
     let perf = PerfModel::default();
     let md_secs = cfg.md_segment_seconds(&perf, &cluster);
     let ctx = PlanCtx {

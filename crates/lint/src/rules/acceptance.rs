@@ -42,12 +42,8 @@ pub fn probit(p: f64) -> f64 {
         4.374664141464968e0,
         2.938163982698783e0,
     ];
-    const D: [f64; 4] = [
-        7.784695709041462e-3,
-        3.224671290700398e-1,
-        2.445134137142996e0,
-        3.754408661907416e0,
-    ];
+    const D: [f64; 4] =
+        [7.784695709041462e-3, 3.224671290700398e-1, 2.445134137142996e0, 3.754408661907416e0];
     const P_LOW: f64 = 0.02425;
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
@@ -67,33 +63,35 @@ pub fn probit(p: f64) -> f64 {
 
 /// Deterministic quantile sample of the predicted potential-energy
 /// distribution at temperature `t` for heat capacity `cv` (kcal/mol/K).
-fn energy_samples(t: f64, cv: f64, n: usize) -> Vec<f64> {
+pub fn energy_samples(t: f64, cv: f64, n: usize) -> Vec<f64> {
     let mu = cv * t;
     let sd = t * (KB * cv).sqrt();
     (1..=n).map(|i| mu + sd * probit(i as f64 / (n + 1) as f64)).collect()
+}
+
+/// Predicted adjacent-pair acceptance proxies (energy-histogram overlaps)
+/// for an explicit temperature ladder over a workload of `atoms` atoms.
+/// Shared by the L401/L402 rules and the campaign planner so both predict
+/// from exactly the same equipartition model.
+pub fn predicted_overlaps(temps: &[f64], atoms: usize, opts: &LintOptions) -> Vec<f64> {
+    let cv = 0.5 * (3 * atoms) as f64 * KB;
+    let samples: Vec<Vec<f64>> =
+        temps.iter().map(|&t| energy_samples(t, cv, opts.samples_per_rung)).collect();
+    analysis::overlap::ladder_overlaps(&samples, opts.bins)
 }
 
 pub fn check(ctx: &PlanCtx, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
     // Physics atoms, NOT cost-atoms: the cost override only rescales the
     // performance model, while acceptance is set by the system actually
     // integrated.
-    let atoms = ctx
-        .cfg
-        .workload
-        .clone()
-        .unwrap_or(Workload::DipeptideVacuum)
-        .real_atoms();
-    let cv = 0.5 * (3 * atoms) as f64 * KB;
+    let atoms = ctx.cfg.workload.clone().unwrap_or(Workload::DipeptideVacuum).real_atoms();
     for (d, dim) in ctx.grid.dims.iter().enumerate() {
         if dim.kind_letter() != 'T' || dim.len() < 2 {
             continue;
         }
-        let temps: Vec<f64> = dim.ladder.iter().map(exchange::param::ExchangeParam::scalar).collect();
-        let samples: Vec<Vec<f64>> = temps
-            .iter()
-            .map(|&t| energy_samples(t, cv, opts.samples_per_rung))
-            .collect();
-        let overlaps = analysis::overlap::ladder_overlaps(&samples, opts.bins);
+        let temps: Vec<f64> =
+            dim.ladder.iter().map(exchange::param::ExchangeParam::scalar).collect();
+        let overlaps = predicted_overlaps(&temps, atoms, opts);
         let mut all_dense = !overlaps.is_empty();
         for (i, &o) in overlaps.iter().enumerate() {
             if o < opts.min_acceptance {

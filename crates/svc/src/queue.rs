@@ -74,6 +74,12 @@ pub struct JobRecord {
     pub seq: u64,
     /// Pilot cores this campaign holds while running.
     pub cores: usize,
+    /// Predicted cost (core·seconds, `lint::plan::predicted_core_seconds`)
+    /// charged to the tenant up front at admission and credited back at
+    /// the terminal state. Defaults to 0 for records written before the
+    /// planner existed.
+    #[serde(default)]
+    pub predicted_core_seconds: f64,
     pub state: JobState,
     /// Error message (only for [`JobState::Failed`]).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -131,8 +137,7 @@ pub fn save_record(dirs: &JobDirs, record: &JobRecord) -> Result<(), String> {
     let target = dirs.record();
     let tmp = dirs.dir.join("job.json.tmp");
     std::fs::write(&tmp, body).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, &target)
-        .map_err(|e| format!("cannot move job record into place: {e}"))
+    std::fs::rename(&tmp, &target).map_err(|e| format!("cannot move job record into place: {e}"))
 }
 
 /// Load one job's control record.
@@ -184,6 +189,7 @@ mod tests {
             priority: 0,
             seq,
             cores: 4,
+            predicted_core_seconds: 0.0,
             state: JobState::Queued,
             error: None,
             config: SimulationConfig::t_remd(4, 600, 2),
@@ -191,8 +197,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("repex-svc-queue-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("repex-svc-queue-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

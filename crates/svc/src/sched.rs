@@ -109,11 +109,38 @@ impl FairShare {
         Ok(())
     }
 
+    /// Charge a tenant the *predicted* cost of a campaign up front, at
+    /// admission time (DESIGN.md §14). Until the estimate is credited
+    /// back at the job's terminal state, the tenant's fair-share rank
+    /// already reflects the allocation it has spoken for — a tenant
+    /// cannot jump the queue by front-loading expensive campaigns that
+    /// have not started burning cores yet.
+    pub fn charge_estimate(&mut self, tenant: &str, weight: f64, core_seconds: f64) {
+        let w = weight.max(MIN_WEIGHT);
+        *self.charged.entry(tenant.to_string()).or_default() += core_seconds.max(0.0) / w;
+    }
+
+    /// Credit an up-front estimate back once the job reaches a terminal
+    /// state: from then on only the *actual* slice charges (see
+    /// [`Self::finish`]) remain on the tenant's account. Pass the same
+    /// weight used at [`Self::charge_estimate`] so the two cancel
+    /// exactly; the balance is floored at zero.
+    pub fn credit_estimate(&mut self, tenant: &str, weight: f64, core_seconds: f64) {
+        let w = weight.max(MIN_WEIGHT);
+        let e = self.charged.entry(tenant.to_string()).or_default();
+        *e = (*e - core_seconds.max(0.0) / w).max(0.0);
+    }
+
     /// Release a job's cores and charge its tenant for the slice it ran.
     /// The cores are free for the very next [`Self::plan`] call — which
     /// is what "cancellation frees cores within one scheduling tick"
     /// means operationally.
-    pub fn finish(&mut self, id: &str, tenant: &str, elapsed_seconds: f64) -> Result<usize, PoolError> {
+    pub fn finish(
+        &mut self,
+        id: &str,
+        tenant: &str,
+        elapsed_seconds: f64,
+    ) -> Result<usize, PoolError> {
         let cores = self.pool.release(id)?;
         let weight = self.weights.get(tenant).copied().unwrap_or(1.0).max(MIN_WEIGHT);
         *self.charged.entry(tenant.to_string()).or_default() +=
@@ -171,6 +198,24 @@ mod tests {
         // Same core-seconds, but the weight-2 tenant is charged half.
         assert!((fs.usage("heavy") - 20.0).abs() < 1e-9);
         assert!((fs.usage("light") - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upfront_estimate_reorders_the_plan_until_credited() {
+        let mut fs = FairShare::new(4);
+        // "greedy" has admitted a huge predicted campaign; until it
+        // terminates, the estimate outranks it against a fresh tenant.
+        fs.charge_estimate("greedy", 1.0, 500.0);
+        let queued = vec![cand("g", "greedy", 1.0, 4, 0), cand("f", "fresh", 1.0, 4, 1)];
+        assert_eq!(fs.plan(&queued)[0].id, "f", "estimate must count against the tenant");
+        // Credit with the same weight: the balance cancels exactly and
+        // FIFO order (seq) decides again.
+        fs.credit_estimate("greedy", 1.0, 500.0);
+        assert_eq!(fs.usage("greedy"), 0.0);
+        assert_eq!(fs.plan(&queued)[0].id, "g");
+        // Over-crediting floors at zero rather than going negative.
+        fs.credit_estimate("greedy", 1.0, 100.0);
+        assert_eq!(fs.usage("greedy"), 0.0);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! | S004 | campaign needs more cores than the pool  | 422 |
 //! | S006 | non-positive / non-finite weight         | 400 |
 //! | S010 | queue at capacity (backpressure)         | 429 |
+//! | P010 | predicted cost exceeds the per-campaign budget | 422 |
+//!
+//! Admission is also *predictive* (DESIGN.md §14): the planner's Eq. 1
+//! cost model prices every campaign before it queues. Predictions above
+//! the service budget reject with the same typed `P010` the `repex plan`
+//! CLI emits, and accepted jobs carry the estimate as an up-front
+//! fair-share charge that is credited back when they terminate.
 //!
 //! Lint findings at Error level reject with 422 and the full diagnostic
 //! list in the body (same JSON schema as `repex check --json` findings).
@@ -62,6 +69,11 @@ pub struct ServiceConfig {
     /// Scheduler tick: the idle re-plan interval (submissions and
     /// completions wake the planner immediately).
     pub tick: Duration,
+    /// Per-campaign admission budget in core·seconds: submissions whose
+    /// *predicted* cost (`lint::plan::predicted_core_seconds`) exceeds
+    /// this reject with 422/P010 before they ever queue. Unlimited by
+    /// default.
+    pub budget_core_seconds: f64,
 }
 
 impl ServiceConfig {
@@ -74,6 +86,7 @@ impl ServiceConfig {
             max_queue: 64,
             slice_cycles: 4,
             tick: Duration::from_millis(200),
+            budget_core_seconds: f64::INFINITY,
         }
     }
 }
@@ -141,10 +154,7 @@ fn default_weight() -> f64 {
 /// JSON body for a typed rejection: top-level error plus the full
 /// diagnostic list (same schema as `repex check --json` findings).
 fn reject(status: u16, diags: Vec<Diagnostic>) -> Response {
-    let error = diags
-        .first()
-        .map(|d| d.message.clone())
-        .unwrap_or_else(|| "rejected".to_string());
+    let error = diags.first().map(|d| d.message.clone()).unwrap_or_else(|| "rejected".to_string());
     let doc = serde_json::json!({
         "error": error,
         "diagnostics": diags,
@@ -183,15 +193,21 @@ impl CampaignService {
                 },
             );
         }
+        let mut fair = FairShare::new(pool_cores);
+        // Replayed jobs that have not terminated still carry their
+        // admission-time estimate; terminal ones were already credited.
+        for job in jobs.values() {
+            if !job.record.state.is_terminal() {
+                fair.charge_estimate(
+                    &job.record.tenant,
+                    job.record.weight,
+                    job.record.predicted_core_seconds,
+                );
+            }
+        }
         let inner = Arc::new(Inner {
             cfg,
-            state: Mutex::new(State {
-                jobs,
-                fair: FairShare::new(pool_cores),
-                next_seq,
-                stopping: false,
-                running: 0,
-            }),
+            state: Mutex::new(State { jobs, fair, next_seq, stopping: false, running: 0 }),
             wake: Condvar::new(),
         });
         let sched_inner = Arc::clone(&inner);
@@ -354,10 +370,17 @@ fn run_slice(inner: &Arc<Inner>, id: &str) {
             }
         }
     }
+    let weight = job.record.weight;
+    let predicted = job.record.predicted_core_seconds;
+    let terminal = job.record.state.is_terminal();
     if let Err(e) = save_record(&job.dirs, &job.record) {
         eprintln!("[repex-svc] {id}: {e}");
     }
     let _ = st.fair.finish(id, &tenant, elapsed);
+    if terminal {
+        // The estimate's job is done: only actual slice charges remain.
+        st.fair.credit_estimate(&tenant, weight, predicted);
+    }
     st.running -= 1;
     inner.wake.notify_all();
 }
@@ -500,11 +523,28 @@ fn submit(inner: &Arc<Inner>, body: &[u8]) -> Response {
             422,
             vec![Diagnostic::error(
                 "S004",
-                format!(
-                    "campaign needs {cores} cores but the shared pool has only {pool_cores}"
-                ),
+                format!("campaign needs {cores} cores but the shared pool has only {pool_cores}"),
             )
             .with_path("/resource")],
+        );
+    }
+    // Predictive admission: price the campaign with the planner's Eq. 1
+    // model before it queues. A config the cost model cannot price has a
+    // structural problem the lint gate below reports in full.
+    let predicted = lint::plan::predicted_core_seconds(&config).unwrap_or(0.0);
+    if predicted > inner.cfg.budget_core_seconds {
+        return reject(
+            422,
+            vec![Diagnostic::error(
+                "P010",
+                format!(
+                    "predicted cost ≈{predicted:.0} core·s exceeds this service's \
+                     per-campaign budget of {:.0} core·s",
+                    inner.cfg.budget_core_seconds
+                ),
+            )
+            .with_path("/resource/cores")
+            .with_hint("`repex plan` ranks cheaper ladders and core counts for this config")],
         );
     }
     // The same lint pass that gates `repex run`: error findings reject.
@@ -547,11 +587,14 @@ fn submit(inner: &Arc<Inner>, body: &[u8]) -> Response {
         priority: req.priority,
         seq: st.next_seq,
         cores,
+        predicted_core_seconds: predicted,
         state: JobState::Queued,
         error: None,
         config,
     };
     st.next_seq += 1;
+    // Charge the estimate up front; credited back at the terminal state.
+    st.fair.charge_estimate(&record.tenant, record.weight, predicted);
     let dirs = JobDirs::new(&inner.cfg.spool, &req.campaign);
     if let Err(e) = save_record(&dirs, &record) {
         return Response::json(500, &serde_json::json!({ "error": e }));
@@ -653,9 +696,13 @@ fn cancel(inner: &Arc<Inner>, id: &str) -> Response {
         JobState::Queued => {
             job.user_cancelled = true;
             job.record.state = JobState::Cancelled;
+            let tenant = job.record.tenant.clone();
+            let (weight, predicted) = (job.record.weight, job.record.predicted_core_seconds);
             if let Err(e) = save_record(&job.dirs, &job.record) {
                 return Response::json(500, &serde_json::json!({ "error": e }));
             }
+            // A job cancelled before it ever ran owes nothing.
+            st.fair.credit_estimate(&tenant, weight, predicted);
             Response::json(200, &serde_json::json!({ "campaign": id, "state": "cancelled" }))
         }
         JobState::Running => {

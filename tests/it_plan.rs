@@ -1,0 +1,236 @@
+//! Integration: the predictive campaign planner (`lint::plan`) versus the
+//! discrete-event simulator it claims to predict.
+//!
+//! The planner is only useful if it is *honest*: every tolerance asserted
+//! here is also documented in DESIGN.md §14, and the suite runs the real
+//! simulator — the same virtual-cluster charge sequence `repex run`
+//! uses — against the closed-form Eq. 1 prediction:
+//!
+//! | regime | tolerance | why |
+//! |--------|-----------|-----|
+//! | synchronous makespan     | 8 % relative  | same charge formulas, lognormal noise only |
+//! | asynchronous makespan    | 50 % relative | min-ready cohort dynamics are not modeled |
+//! | fault / scenario makespan| 35 % relative | stochastic failure draws vs closed-form mean |
+//! | utilization (sync)       | 15 points     | numerator shares the same model |
+//! | ladder mean acceptance   | 0.25 absolute | energy-overlap proxy vs Metropolis sampling |
+//!
+//! The acceptance comparison is quantitative on moderately spaced ladders
+//! and directional (ordering only) on extreme ones, where the equipartition
+//! proxy and the anharmonic surrogate diverge the most.
+
+use lint::plan::{plan_config, PlanOptions, PlanReport};
+use repex::config::{DimensionConfig, FaultPolicy, SimulationConfig};
+use repex::simulation::RemdSimulation;
+
+fn predict(cfg: &SimulationConfig) -> PlanReport {
+    let opts = PlanOptions { search: false, ..PlanOptions::default() };
+    let out = plan_config(cfg, &opts);
+    out.report.unwrap_or_else(|| panic!("planner refused a runnable config: {:?}", out.diagnostics))
+}
+
+fn rel_err(predicted: f64, measured: f64) -> f64 {
+    (predicted - measured).abs() / measured.max(1e-9)
+}
+
+/// Every shipped example config: predicted makespan within the documented
+/// tolerance of the simulated one. `surrogate-steps` is physics fidelity
+/// only — it does not touch the virtual clock — so the runs stay fast.
+#[test]
+fn predicted_makespan_tracks_the_simulator_on_every_example_config() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../examples/configs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut cfg = SimulationConfig::from_json(&text).unwrap();
+        cfg.surrogate_steps = 10;
+        let report = predict(&cfg);
+        let sync = report.cost.pattern == "synchronous";
+        let tolerance = if sync { 0.08 } else { 0.50 };
+
+        let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        let err = rel_err(report.cost.makespan_seconds, run.makespan);
+        assert!(
+            err <= tolerance,
+            "{path:?}: predicted {:.1} s vs simulated {:.1} s (rel {err:.3} > {tolerance})",
+            report.cost.makespan_seconds,
+            run.makespan,
+        );
+        assert_eq!(
+            report.cost.execution_mode, run.execution_mode,
+            "{path:?}: planner and simulator disagree on the execution mode"
+        );
+        if sync {
+            let du = (report.cost.utilization_percent - run.utilization_percent).abs();
+            assert!(
+                du <= 15.0,
+                "{path:?}: predicted utilization {:.1} % vs simulated {:.1} %",
+                report.cost.utilization_percent,
+                run.utilization_percent,
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the shipped example configs, found {checked}");
+}
+
+/// Mode II: the wave count and the per-core scheduling tax are real, not
+/// just modeled — halving the pilot roughly doubles the simulated MD phase,
+/// and the prediction keeps tracking it.
+#[test]
+fn mode_ii_prediction_tracks_a_packed_pilot() {
+    let mut cfg = SimulationConfig::t_remd(16, 6000, 3);
+    cfg.surrogate_steps = 10;
+    cfg.resource.cores = Some(8);
+    let report = predict(&cfg);
+    assert_eq!(report.cost.execution_mode, 2);
+    assert_eq!(report.cost.waves, 2);
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    let err = rel_err(report.cost.makespan_seconds, run.makespan);
+    assert!(err <= 0.08, "Mode II rel error {err:.3}: {:?}", report.cost);
+}
+
+/// Relaunch-on-failure: the closed-form expected inflation stays within the
+/// stochastic band of actual failure draws, and never under-predicts the
+/// clean (fault-free) floor.
+#[test]
+fn relaunch_inflation_prediction_brackets_the_simulated_makespan() {
+    let mut cfg = SimulationConfig::t_remd(8, 6000, 4);
+    cfg.surrogate_steps = 10;
+    cfg.fault_mtbf_seconds = Some(1500.0);
+    cfg.fault_policy = FaultPolicy::Relaunch { max_retries: 3 };
+    let report = predict(&cfg);
+    assert!(report.cost.relaunch_inflation > 1.0);
+
+    let mut clean = cfg.clone();
+    clean.fault_mtbf_seconds = None;
+    clean.fault_policy = FaultPolicy::Continue;
+    let clean_predicted = predict(&clean).cost.makespan_seconds;
+    assert!(report.cost.makespan_seconds > clean_predicted);
+
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert!(run.relaunched_tasks > 0, "MTBF 1500 s on 139.6 s tasks must relaunch some");
+    let err = rel_err(report.cost.makespan_seconds, run.makespan);
+    assert!(
+        err <= 0.35,
+        "fault-inflated rel error {err:.3}: predicted {:.1} vs simulated {:.1}",
+        report.cost.makespan_seconds,
+        run.makespan,
+    );
+}
+
+/// Straggler scenario: worst-of-wave inflation is what the barrier actually
+/// pays, and the closed-form expectation stays within tolerance.
+#[test]
+fn straggler_scenario_prediction_stays_within_tolerance() {
+    let mut cfg = SimulationConfig::t_remd(8, 6000, 6);
+    cfg.surrogate_steps = 10;
+    cfg.scenario = Some(hpc::Scenario::Stragglers { fraction: 0.25, slowdown: 2.0 });
+    let report = predict(&cfg);
+    assert!(report.cost.scenario_inflation > 1.5, "{:?}", report.cost);
+
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    let err = rel_err(report.cost.makespan_seconds, run.makespan);
+    assert!(
+        err <= 0.35,
+        "straggler rel error {err:.3}: predicted {:.1} vs simulated {:.1}",
+        report.cost.makespan_seconds,
+        run.makespan,
+    );
+}
+
+/// Failure storms under the `continue` policy do not stretch the barrier
+/// (failed tasks just drop out), so the makespan prediction stays tight
+/// while utilization absorbs the loss.
+#[test]
+fn failure_storm_under_continue_keeps_makespan_and_costs_utilization() {
+    let mut cfg = SimulationConfig::t_remd(8, 6000, 4);
+    cfg.surrogate_steps = 10;
+    cfg.scenario = Some(hpc::Scenario::FailureStorm {
+        storm_mtbf_seconds: 200.0,
+        period_seconds: 400.0,
+        storm_fraction: 0.5,
+    });
+    let report = predict(&cfg);
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    assert!(run.failed_tasks > 0, "a 200 s-MTBF storm must kill some 139.6 s tasks");
+    let err = rel_err(report.cost.makespan_seconds, run.makespan);
+    assert!(
+        err <= 0.35,
+        "storm rel error {err:.3}: predicted {:.1} vs simulated {:.1}",
+        report.cost.makespan_seconds,
+        run.makespan,
+    );
+    assert!(
+        report.cost.utilization_percent < 100.0,
+        "failures must show up in the predicted utilization"
+    );
+}
+
+/// Quantitative acceptance cross-validation on a moderately spaced ladder:
+/// the equipartition overlap proxy and the measured Metropolis rate agree
+/// within the documented 0.25 absolute band, and both clear the
+/// exchangeable floor.
+#[test]
+fn predicted_acceptance_tracks_measured_exchange_stats() {
+    let mut cfg = SimulationConfig::t_remd(8, 600, 30);
+    cfg.surrogate_steps = 40;
+    let report = predict(&cfg);
+    let predicted = report.ladders[0].mean_acceptance.unwrap();
+
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    let stats = &run.acceptance[0].1;
+    assert!(stats.attempts >= 90, "30 cycles on 8 rungs must attempt plenty");
+    let measured = stats.ratio();
+    assert!(
+        (predicted - measured).abs() <= 0.25,
+        "predicted mean acceptance {predicted:.3} vs measured {measured:.3}"
+    );
+    assert!(predicted >= 0.05 && measured >= 0.05, "both must call the ladder exchangeable");
+}
+
+/// Directional acceptance check on an extreme ladder: whatever the absolute
+/// offset, the planner must order ladders the same way the simulator does.
+#[test]
+fn predicted_acceptance_orders_ladders_like_the_simulator() {
+    let run_ladder = |max_k: f64| {
+        let mut cfg = SimulationConfig::t_remd(8, 600, 30);
+        cfg.surrogate_steps = 40;
+        cfg.dimensions = vec![DimensionConfig::Temperature { min_k: 250.0, max_k, count: 8 }];
+        let predicted = predict(&cfg).ladders[0].mean_acceptance.unwrap();
+        let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+        (predicted, run.acceptance[0].1.ratio())
+    };
+    let (p_narrow, m_narrow) = run_ladder(350.0);
+    let (p_wide, m_wide) = run_ladder(900.0);
+    assert!(
+        p_narrow > p_wide,
+        "planner must rank the narrow ladder higher: {p_narrow:.3} vs {p_wide:.3}"
+    );
+    assert!(
+        m_narrow > m_wide - 0.02,
+        "simulator must agree on the ordering: {m_narrow:.3} vs {m_wide:.3}"
+    );
+}
+
+/// The admission-control entry point prices exactly what the full report
+/// prices, and a run on the same config lands inside the same band the
+/// makespan test enforces — i.e. `svc` charges an honest estimate.
+#[test]
+fn predicted_core_seconds_is_an_honest_admission_charge() {
+    let mut cfg = SimulationConfig::t_remd(8, 6000, 3);
+    cfg.surrogate_steps = 10;
+    let direct = lint::plan::predicted_core_seconds(&cfg).unwrap();
+    let report = predict(&cfg);
+    assert!((direct - report.cost.core_seconds).abs() < 1e-9);
+
+    let run = RemdSimulation::new(cfg).unwrap().run().unwrap();
+    let actual = run.pilot_cores as f64 * run.makespan;
+    assert!(
+        rel_err(direct, actual) <= 0.08,
+        "predicted {direct:.0} core·s vs actual {actual:.0} core·s"
+    );
+}

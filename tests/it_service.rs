@@ -51,8 +51,7 @@ fn submit(
         "config": serde_json::from_str::<serde_json::Value>(&cfg.to_json()).unwrap(),
     });
     let (status, resp) =
-        svc::http::request(addr, "POST", "/campaigns", Some(body.to_string().as_bytes()))
-            .unwrap();
+        svc::http::request(addr, "POST", "/campaigns", Some(body.to_string().as_bytes())).unwrap();
     (status, serde_json::from_slice(&resp).unwrap())
 }
 
@@ -123,9 +122,7 @@ fn concurrent_tenants_share_one_cluster_and_results_are_bit_identical() {
     // Bit-identical to the standalone twin, for every campaign — the
     // sliced, checkpoint-resumed service run reproduces the exact bytes
     // `repex run --json` would have written.
-    for (id, cfg) in
-        [("svc-a", &cfg_a), ("svc-b", &cfg_b), ("svc-c", &cfg_c), ("svc-d", &cfg_d)]
-    {
+    for (id, cfg) in [("svc-a", &cfg_a), ("svc-b", &cfg_b), ("svc-c", &cfg_c), ("svc-d", &cfg_d)] {
         let served = serde_json::to_string_pretty(&results[id]["report"]).unwrap();
         assert_eq!(served, standalone_doc(cfg), "campaign {id} diverged from its twin");
     }
@@ -186,9 +183,10 @@ fn shared_spool_restart_resumes_each_campaign_and_stays_bit_identical() {
         assert!(ckpt.exists(), "{dir} checkpointed before the stop");
         let text = std::fs::read_to_string(&ckpt).unwrap();
         assert!(text.contains(title), "{dir}'s checkpoint holds {title}'s config");
-        let record: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(spool.join(dir).join("job.json")).unwrap())
-                .unwrap();
+        let record: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(spool.join(dir).join("job.json")).unwrap(),
+        )
+        .unwrap();
         assert_eq!(record["campaign"], dir, "record and directory agree");
         assert_ne!(record["state"], "running", "stop left no job stranded as running");
     }
@@ -264,10 +262,7 @@ fn admission_is_lint_gated_with_typed_diagnostics() {
     underprovisioned.resource.cores = Some(2);
     let (status, doc) = submit(&addr, "linted", "t", 1.0, &underprovisioned);
     assert_eq!(status, 422);
-    assert!(
-        doc["diagnostics"].as_array().unwrap().iter().any(|d| d["code"] == "L201"),
-        "{doc}"
-    );
+    assert!(doc["diagnostics"].as_array().unwrap().iter().any(|d| d["code"] == "L201"), "{doc}");
 
     // S002: duplicate ids conflict; unknown ids are 404.
     let (status, _) = submit(&addr, "dup", "t", 1.0, &good);
@@ -280,6 +275,34 @@ fn admission_is_lint_gated_with_typed_diagnostics() {
     let (status, doc) = get(&addr, "/campaigns/nope/results");
     assert_eq!(status, 404, "{doc}");
 
+    service.stop();
+}
+
+#[test]
+fn predictive_admission_rejects_over_budget_campaigns_with_p010() {
+    let cfg = campaign_cfg("budgeted", 4, "small:8");
+    // Price the campaign with the same model the service uses, then run
+    // one service whose budget is below the prediction and one above.
+    let predicted = lint::plan::predicted_core_seconds(&cfg).unwrap();
+    assert!(predicted > 0.0, "planner must price a schedulable campaign");
+
+    let mut tight = service_config("budget-tight", "small:8", 0);
+    tight.budget_core_seconds = predicted / 2.0;
+    let service = CampaignService::start(tight).unwrap();
+    let addr = service.addr().to_string();
+    let (status, doc) = submit(&addr, "pricey", "t", 1.0, &cfg);
+    assert_eq!(status, 422, "{doc}");
+    assert_eq!(doc["diagnostics"][0]["code"], "P010", "{doc}");
+    assert_eq!(doc["diagnostics"][0]["severity"], "error", "{doc}");
+    service.stop();
+
+    let mut roomy = service_config("budget-roomy", "small:8", 0);
+    roomy.budget_core_seconds = predicted * 2.0;
+    let service = CampaignService::start(roomy).unwrap();
+    let addr = service.addr().to_string();
+    let (status, doc) = submit(&addr, "affordable", "t", 1.0, &cfg);
+    assert_eq!(status, 201, "{doc}");
+    wait_state(&addr, "affordable", "done");
     service.stop();
 }
 
@@ -308,8 +331,7 @@ fn cancellation_checkpoints_and_frees_cores_within_a_tick() {
     assert_eq!(submit(&addr, "longrun", "t", 1.0, &cfg).0, 201);
     wait_state(&addr, "longrun", "running");
 
-    let (status, doc) =
-        svc::http::request(&addr, "DELETE", "/campaigns/longrun", None).unwrap();
+    let (status, doc) = svc::http::request(&addr, "DELETE", "/campaigns/longrun", None).unwrap();
     let doc: serde_json::Value = serde_json::from_slice(&doc).unwrap();
     assert_eq!(status, 202, "{doc}");
     let doc = wait_state(&addr, "longrun", "cancelled");
